@@ -1,0 +1,97 @@
+"""Shared campaign fixtures for the benchmark harness.
+
+Every table and figure of the paper's evaluation is regenerated from the same
+set of seeded campaigns; these are executed once per pytest session (and cached
+by the campaign runner), so the individual benchmarks only time the analysis /
+aggregation step and print the reproduced numbers.
+
+The number of runs per campaign is controlled by the ``REPRO_BENCH_RUNS``
+environment variable (default 10).  The paper uses 130-200 runs per campaign;
+increase the variable for tighter estimates at the cost of runtime.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, List, Tuple
+
+import pytest
+
+from repro.core.attack_vectors import AttackVector
+from repro.experiments.campaign import (
+    AttackerKind,
+    CampaignConfig,
+    PredictorKind,
+    baseline_random_campaign,
+    run_campaign,
+    standard_campaigns,
+)
+from repro.experiments.results import CampaignResult
+
+BENCH_RUNS = int(os.environ.get("REPRO_BENCH_RUNS", "10"))
+BENCH_SEED = int(os.environ.get("REPRO_BENCH_SEED", "2020"))
+
+
+def _run_all(configs) -> List[CampaignResult]:
+    return [run_campaign(config) for config in configs]
+
+
+@pytest.fixture(scope="session")
+def robotack_campaigns() -> List[CampaignResult]:
+    """The six RoboTack campaigns of paper Table II (Fig. 6 'R')."""
+    return _run_all(standard_campaigns(n_runs=BENCH_RUNS, seed=BENCH_SEED))
+
+
+@pytest.fixture(scope="session")
+def no_sh_campaigns() -> List[CampaignResult]:
+    """The same six campaigns without the safety hijacker (Fig. 6 'R w/o SH')."""
+    return _run_all(
+        standard_campaigns(
+            n_runs=BENCH_RUNS, seed=BENCH_SEED, attacker=AttackerKind.ROBOTACK_NO_SH
+        )
+    )
+
+
+@pytest.fixture(scope="session")
+def random_baseline_campaign() -> CampaignResult:
+    """The DS-5 Baseline-Random campaign of paper Table II."""
+    return run_campaign(baseline_random_campaign(n_runs=BENCH_RUNS, seed=BENCH_SEED))
+
+
+@pytest.fixture(scope="session")
+def kinematic_campaign() -> CampaignResult:
+    """DS-2 Disappear with the closed-form kinematic oracle (NN ablation)."""
+    config = CampaignConfig(
+        campaign_id="DS-2-Disappear-R-kinematic",
+        scenario_id="DS-2",
+        attacker=AttackerKind.ROBOTACK,
+        vector=AttackVector.DISAPPEAR,
+        n_runs=BENCH_RUNS,
+        seed=BENCH_SEED,
+        predictor=PredictorKind.KINEMATIC,
+    )
+    return run_campaign(config)
+
+
+@pytest.fixture(scope="session")
+def campaigns_by_id(
+    robotack_campaigns, no_sh_campaigns, random_baseline_campaign
+) -> Dict[str, CampaignResult]:
+    """Lookup table over every campaign used by the benchmarks."""
+    table: Dict[str, CampaignResult] = {c.campaign_id: c for c in robotack_campaigns}
+    table.update({c.campaign_id: c for c in no_sh_campaigns})
+    table[random_baseline_campaign.campaign_id] = random_baseline_campaign
+    return table
+
+
+def paper_reference_table2() -> List[Tuple[str, float, float, float]]:
+    """Paper Table II reference values: (campaign, K, EB rate, crash rate)."""
+    return [
+        ("DS-1-Disappear-R", 48, 0.535, 0.317),
+        ("DS-2-Disappear-R", 14, 0.944, 0.826),
+        ("DS-1-Move_Out-R", 65, 0.373, 0.173),
+        ("DS-2-Move_Out-R", 32, 0.978, 0.841),
+        ("DS-3-Move_In-R", 48, 0.946, float("nan")),
+        ("DS-4-Move_In-R", 24, 0.785, float("nan")),
+        ("DS-5-Baseline-Random", float("nan"), 0.023, 0.0),
+    ]

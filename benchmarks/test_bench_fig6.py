@@ -1,0 +1,45 @@
+"""Paper Fig. 6: impact of the safety hijacker on the minimum safety potential.
+
+For DS-1/DS-2 x Disappear/Move_Out, the distribution of the per-run minimum
+ground-truth safety potential (from attack start to the end of the run) is
+compared between RoboTack ("R") and RoboTack without the safety hijacker
+("R w/o SH").  Move_In campaigns are omitted, as in the paper, because they
+do not reduce the true safety potential.
+"""
+
+from repro.experiments.figures import fig6_panels
+
+#: Paper Fig. 6 medians: (R w/o SH, R) per panel.
+PAPER_MEDIANS = {
+    "DS-1-Disappear": (19.0, 9.0),
+    "DS-1-Move_Out": (19.0, 13.0),
+    "DS-2-Disappear": (7.0, 3.0),
+    "DS-2-Move_Out": (9.0, 3.0),
+}
+
+
+def test_fig6_safety_potential_with_and_without_sh(benchmark, robotack_campaigns, no_sh_campaigns):
+    relevant_with = [c for c in robotack_campaigns if c.scenario_id in ("DS-1", "DS-2")]
+    relevant_without = [c for c in no_sh_campaigns if c.scenario_id in ("DS-1", "DS-2")]
+    panels = benchmark.pedantic(
+        fig6_panels, args=(relevant_with, relevant_without), rounds=1, iterations=1
+    )
+
+    print("\n=== Fig. 6: min safety potential, R w/o SH vs R (reproduced vs paper medians) ===")
+    for panel in panels:
+        paper = PAPER_MEDIANS.get(panel.panel_id, (float("nan"), float("nan")))
+        print(
+            f"{panel.panel_id:<18s} R w/o SH median={panel.without_sh.median:6.1f} m "
+            f"(IQR {panel.without_sh.q1:5.1f}-{panel.without_sh.q3:5.1f}) | "
+            f"R median={panel.with_sh.median:6.1f} m "
+            f"(IQR {panel.with_sh.q1:5.1f}-{panel.with_sh.q3:5.1f}) | "
+            f"paper: {paper[0]:.0f} vs {paper[1]:.0f}"
+        )
+
+    assert len(panels) == 4
+    # Shape: with the safety hijacker the minimum safety potential is driven
+    # lower (towards / below the 4 m accident line) than with random timing.
+    lower_medians = sum(panel.with_sh.median < panel.without_sh.median for panel in panels)
+    assert lower_medians >= 3
+    for panel in panels:
+        assert panel.with_sh.minimum < panel.accident_threshold_m + 2.0

@@ -1,0 +1,69 @@
+"""Paper Fig. 8: safety-hijacker (NN) prediction quality and its impact.
+
+Panel (a): probability of attack success versus the binned absolute error of
+the NN's safety-potential prediction — success probability should fall as the
+prediction error grows.
+Panel (b): predicted versus ground-truth safety potential after k attack
+frames for the DS-1 Move_Out oracle.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.attack_vectors import AttackVector
+from repro.core.training import collect_safety_dataset
+from repro.experiments.campaign import PredictorKind, get_or_train_predictor
+from repro.experiments.figures import fig8_data
+
+from .conftest import BENCH_SEED
+
+
+@pytest.fixture(scope="module")
+def ds1_move_out_oracle():
+    """The trained NN oracle for DS-1 Move_Out plus a held-out evaluation dataset."""
+    predictor = get_or_train_predictor(
+        "DS-1", AttackVector.MOVE_OUT, kind=PredictorKind.NEURAL, seed=7
+    )
+    evaluation = collect_safety_dataset(
+        scenario_id="DS-1",
+        vector=AttackVector.MOVE_OUT,
+        delta_inject_values=(24.0, 18.0, 14.0),
+        k_values=(20, 40, 58),
+        seed=BENCH_SEED + 1,
+    )
+    return predictor, evaluation
+
+
+def test_fig8_safety_hijacker_prediction_quality(benchmark, robotack_campaigns, ds1_move_out_oracle):
+    predictor, evaluation = ds1_move_out_oracle
+    data = benchmark.pedantic(
+        fig8_data,
+        args=(robotack_campaigns,),
+        kwargs={"predictor": predictor, "dataset": evaluation},
+        rounds=1,
+        iterations=1,
+    )
+
+    print("\n=== Fig. 8a: attack success probability vs NN prediction error ===")
+    for center, success, count in data.binned_success:
+        print(f"|error| ~ {center:5.2f} m : success probability {success:5.1%}  (n={count})")
+    print(f"mean absolute prediction error over attacked runs: {data.mean_absolute_error_m:.2f} m")
+
+    print("\n=== Fig. 8b: DS-1 Move_Out oracle, predicted vs ground-truth delta ===")
+    print(f"{'k':>4s} {'ground truth':>13s} {'predicted':>10s}")
+    for k, truth, predicted in data.prediction_curve:
+        print(f"{k:4d} {truth:13.1f} {predicted:10.1f}")
+
+    # Shape checks: the oracle error is bounded (paper: within ~5 m for
+    # vehicles, ~1.5 m for pedestrians), and the predicted curve decreases with
+    # the attack window length like the ground truth does.
+    curve_errors = [abs(truth - predicted) for _, truth, predicted in data.prediction_curve]
+    assert np.mean(curve_errors) < 8.0
+    ks = np.array([k for k, _, _ in data.prediction_curve], dtype=float)
+    predictions = np.array([p for _, _, p in data.prediction_curve])
+    truths = np.array([t for _, t, _ in data.prediction_curve])
+    if len(ks) >= 4 and np.std(ks) > 0:
+        assert np.corrcoef(ks, predictions)[0, 1] < 0.1
+        assert np.corrcoef(predictions, truths)[0, 1] > 0.5
+    # Panel (a) exists whenever some attacked runs carry NN predictions.
+    assert data.binned_success

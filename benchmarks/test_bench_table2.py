@@ -1,0 +1,69 @@
+"""Paper Table II: attack-campaign summary (RoboTack vs the random baseline).
+
+For every <driving scenario, attack vector> campaign the benchmark reports the
+median attack window K, the emergency-braking rate, and the crash rate, next
+to the paper's values, plus the §I headline comparisons (RoboTack vs random,
+pedestrians vs vehicles).
+"""
+
+from repro.experiments.metrics import summarize_campaign
+from repro.experiments.tables import headline_findings, table2_rows
+
+from .conftest import paper_reference_table2
+
+
+def test_table2_attack_summary(benchmark, robotack_campaigns, random_baseline_campaign):
+    campaigns = list(robotack_campaigns) + [random_baseline_campaign]
+    rows = benchmark.pedantic(table2_rows, args=(campaigns,), rounds=1, iterations=1)
+    findings = headline_findings(robotack_campaigns, random_baseline_campaign)
+
+    paper = {row[0]: row[1:] for row in paper_reference_table2()}
+    print("\n=== Table II: smart malware attack summary (reproduced vs paper) ===")
+    header = (
+        f"{'campaign':<26s} {'K':>5s} {'EB rate':>9s} {'crash rate':>11s}"
+        f"   {'paper K':>8s} {'paper EB':>9s} {'paper crash':>12s}"
+    )
+    print(header)
+    for row in rows:
+        crash = f"{row.crash_rate:.1%}" if row.crash_rate is not None else "    —"
+        paper_k, paper_eb, paper_crash = paper.get(row.campaign_id, (float("nan"),) * 3)
+        paper_crash_text = f"{paper_crash:.1%}" if paper_crash == paper_crash else "    —"
+        print(
+            f"{row.campaign_id:<26s} {row.median_k:5.1f} {row.emergency_braking_rate:9.1%} "
+            f"{crash:>11s}   {paper_k:8.1f} {paper_eb:9.1%} {paper_crash_text:>12s}"
+        )
+
+    print("\n--- headline findings (§I) ---")
+    print(
+        f"RoboTack EB rate          : {findings['robotack_eb_rate']:.1%} "
+        f"(paper 75.2%)   random baseline: {findings['random_eb_rate']:.1%} (paper 2.3%)"
+    )
+    print(
+        f"RoboTack crash rate       : {findings['robotack_crash_rate']:.1%} "
+        f"(paper 52.6%)   random baseline: {findings['random_crash_rate']:.1%} (paper 0%)"
+    )
+    ratio = findings["eb_improvement_ratio"]
+    ratio_text = f"{ratio:.1f}x" if ratio != float("inf") else "inf"
+    print(f"EB improvement over random: {ratio_text} (paper 33x)")
+    print(
+        f"Pedestrian vs vehicle success: {findings['pedestrian_success_rate']:.1%} vs "
+        f"{findings['vehicle_success_rate']:.1%} (paper 84.1% vs 31.7%)"
+    )
+
+    # --- shape assertions (who wins, roughly by how much) ---
+    by_id = {row.campaign_id: row for row in rows}
+    random_row = by_id["DS-5-Baseline-Random"]
+    # RoboTack dominates the random baseline on emergency braking and crashes.
+    assert findings["robotack_eb_rate"] > findings["random_eb_rate"]
+    assert findings["robotack_crash_rate"] > findings["random_crash_rate"]
+    assert random_row.crash_rate <= 0.2
+    # Pedestrian campaigns are more successful than vehicle campaigns.
+    assert findings["pedestrian_success_rate"] > findings["vehicle_success_rate"]
+    # Pedestrian attack windows are shorter than vehicle attack windows.
+    assert by_id["DS-2-Disappear-R"].median_k < by_id["DS-1-Disappear-R"].median_k
+    assert by_id["DS-4-Move_In-R"].median_k <= by_id["DS-3-Move_In-R"].median_k
+    # Move_In campaigns force emergency braking but have no crash column.
+    assert by_id["DS-3-Move_In-R"].crash_rate is None
+    assert by_id["DS-3-Move_In-R"].emergency_braking_rate > 0.5
+    # The pedestrian-crossing campaigns achieve high hazard rates.
+    assert by_id["DS-2-Disappear-R"].emergency_braking_rate > 0.5

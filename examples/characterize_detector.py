@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""Reproduce paper Fig. 5: characterize the object detector's noise behaviour.
+
+Drives the simulated camera + detector past a lead vehicle and a sidewalk
+pedestrian, collects continuous-misdetection bursts and normalized bounding-box
+centre errors, and fits the exponential / Gaussian models of Fig. 5.  The
+fitted 99th percentiles are the attack's stealth bound Kmax.
+
+Run with:  python examples/characterize_detector.py --duration 240
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.experiments.characterization import characterize_detector
+from repro.sim.actors import ActorKind
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--duration", type=float, default=240.0, help="drive duration in seconds")
+    parser.add_argument("--seed", type=int, default=99)
+    args = parser.parse_args()
+
+    report = characterize_detector(duration_s=args.duration, seed=args.seed)
+
+    print(f"characterization drive: {args.duration:.0f} s at 15 Hz\n")
+    for kind in (ActorKind.PEDESTRIAN, ActorKind.VEHICLE):
+        c = report.per_class[kind]
+        print(f"=== {kind.value} ===")
+        print(
+            "continuous misdetections : "
+            f"Exp(loc=1, rate={c.misdetection_burst_fit.rate:.3f}), "
+            f"99th percentile = {c.misdetection_burst_p99:.1f} frames"
+        )
+        print(
+            "bbox centre error (x)    : "
+            f"Normal(mu={c.center_error_x_fit.mu:+.3f}, sigma={c.center_error_x_fit.sigma:.3f}), "
+            f"99th pct |error| = {c.center_error_x_p99:.3f}"
+        )
+        print(
+            "bbox centre error (y)    : "
+            f"Normal(mu={c.center_error_y_fit.mu:+.3f}, sigma={c.center_error_y_fit.sigma:.3f}), "
+            f"99th pct |error| = {c.center_error_y_p99:.3f}"
+        )
+        print(f"implied stealth bound Kmax = {report.k_max_frames(kind)} frames")
+        print(f"frames observed          : {c.n_frames_observed}\n")
+
+    print("Paper Fig. 5 reference: pedestrian bursts Exp(loc=1, 0.717), p99 ~31 frames;")
+    print("vehicle bursts Exp(loc=1, 0.327), p99 ~59 frames; centre errors Gaussian.")
+
+
+if __name__ == "__main__":
+    main()

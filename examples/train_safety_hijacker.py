@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""Train the safety hijacker's neural oracle for one <scenario, vector> pair.
+
+Reproduces the training procedure of paper §IV-B: scripted attack simulations
+with predefined (delta_inject, k) pairs provide the dataset of ADS responses;
+a 100-100-50 ReLU network with dropout 0.1 is trained with Adam on an L2 loss
+using a 60/40 train/validation split.  The trained oracle is then plugged into
+a RoboTack attacker and evaluated on a few held-out attacked runs.
+
+Run with:  python examples/train_safety_hijacker.py --scenario DS-2 --vector disappear
+"""
+
+from __future__ import annotations
+
+import argparse
+
+import numpy as np
+
+from repro.core import AttackVector
+from repro.core.training import collect_safety_dataset, train_neural_safety_predictor
+from repro.experiments.campaign import (
+    _TRAINING_GRIDS,
+    AttackerKind,
+    CampaignConfig,
+    PredictorKind,
+    run_single_experiment,
+)
+from repro.experiments.campaign import _PREDICTOR_CACHE
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scenario", default="DS-2", choices=sorted(_TRAINING_GRIDS))
+    parser.add_argument("--vector", default="disappear")
+    parser.add_argument("--epochs", type=int, default=200)
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--eval-runs", type=int, default=5)
+    args = parser.parse_args()
+
+    vector = AttackVector.from_string(args.vector)
+    delta_grid, k_grid = _TRAINING_GRIDS[args.scenario]
+
+    print(f"collecting attack-response dataset for {args.scenario} / {vector.name} ...")
+    dataset = collect_safety_dataset(
+        scenario_id=args.scenario,
+        vector=vector,
+        delta_inject_values=delta_grid,
+        k_values=k_grid,
+        seed=args.seed,
+        repeats=2,
+    )
+    print(f"collected {dataset.n_samples} samples "
+          f"(labels range {dataset.targets.min():.1f} .. {dataset.targets.max():.1f} m)")
+
+    predictor, result = train_neural_safety_predictor(dataset, epochs=args.epochs, seed=args.seed)
+    print(
+        f"trained {predictor.network.num_parameters()} parameters for {args.epochs} epochs: "
+        f"train loss {result.history.final_train_loss:.3f}, "
+        f"validation loss {result.history.final_validation_loss:.3f} "
+        f"({result.n_train_samples}/{result.n_validation_samples} split)"
+    )
+
+    errors = np.abs(predictor.predict_batch(dataset.inputs) - dataset.targets.reshape(-1))
+    print(f"mean absolute error on the dataset: {errors.mean():.2f} m")
+
+    # Install the freshly trained oracle in the predictor cache and evaluate it
+    # end-to-end with a few attacked runs.
+    _PREDICTOR_CACHE[(args.scenario, vector, PredictorKind.NEURAL, 7)] = predictor
+    config = CampaignConfig(
+        campaign_id=f"{args.scenario}-{vector.name.title()}-eval",
+        scenario_id=args.scenario,
+        attacker=AttackerKind.ROBOTACK,
+        vector=vector,
+        n_runs=args.eval_runs,
+        seed=args.seed + 1,
+    )
+    print(f"\nevaluating the trained oracle on {args.eval_runs} attacked runs ...")
+    hazards = 0
+    for run_index in range(args.eval_runs):
+        run = run_single_experiment(config, run_index)
+        hazard = run.emergency_braking or run.accident
+        hazards += hazard
+        print(
+            f"  run {run_index}: launched={run.attack_launched} K={run.planned_k_frames:2d} "
+            f"min delta={run.min_true_delta_m:5.1f} m EB={run.emergency_braking} "
+            f"accident={run.accident}"
+        )
+    print(f"\nsafety hazards in {hazards}/{args.eval_runs} attacked runs")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setup shim for environments without the ``wheel`` package.
+
+The project metadata lives in ``pyproject.toml``; this file only exists so
+that ``pip install -e . --no-use-pep517`` (the legacy editable-install path,
+which does not require building a wheel) works in offline environments.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,42 @@
+"""repro — a reproduction of "ML-Driven Malware that Targets AV Safety" (DSN 2020).
+
+The package is organized as:
+
+* :mod:`repro.core` — RoboTack, the paper's smart malware (scenario matcher,
+  safety hijacker, trajectory hijacker) plus the random-attack baselines;
+* :mod:`repro.sim` — the driving-scenario simulation substrate (stand-in for
+  LGSVL) with the five scenarios DS-1 … DS-5;
+* :mod:`repro.sensors` — camera, LiDAR, and GPS/IMU models;
+* :mod:`repro.perception` — the victim perception system: simulated YOLOv3
+  detector, Kalman-filter trackers, Hungarian matching, sensor fusion;
+* :mod:`repro.ads` — the Apollo-like driving agent: planning, PID control,
+  and the safety model (dstop, dsafe, δ);
+* :mod:`repro.nn` — the pure-NumPy feed-forward network used by the safety
+  hijacker;
+* :mod:`repro.experiments` — campaigns, metrics, and the generators for every
+  table and figure of the paper's evaluation;
+* :mod:`repro.utils`, :mod:`repro.geometry` — shared utilities and geometric
+  primitives.
+
+Quickstart::
+
+    from repro.core import AttackVector, RoboTack, SafetyHijacker, KinematicSafetyPredictor
+    from repro.experiments import (
+        AttackerKind, CampaignConfig, PredictorKind, run_campaign,
+    )
+
+    config = CampaignConfig(
+        campaign_id="DS-2-Disappear-R",
+        scenario_id="DS-2",
+        attacker=AttackerKind.ROBOTACK,
+        vector=AttackVector.DISAPPEAR,
+        n_runs=10,
+        predictor=PredictorKind.KINEMATIC,
+    )
+    result = run_campaign(config)
+    print(result.emergency_braking_rate, result.accident_rate)
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,121 @@
+"""Obstacle prediction: deciding which obstacles are (or will be) in the ego path.
+
+The planner cares about two questions per obstacle:
+
+* is it inside the ego lane right now?
+* is its current lateral motion going to bring it into (or out of) the ego
+  lane within the prediction horizon?
+
+Both use a constant-lateral-velocity extrapolation of the fused obstacle
+state, which is also what makes the trajectory-hijacking attacks effective:
+fooling the fused lateral position/velocity changes the predicted lane
+membership and therefore the planner's reaction (paper §III-C attack vectors).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.perception.fusion import FusedObstacle
+from repro.sim.actors import ActorKind
+from repro.sim.road import Road
+
+__all__ = ["PredictionConfig", "ObstaclePredictor"]
+
+#: Nominal half-widths used to decide lane overlap, per class.
+_NOMINAL_HALF_WIDTH_M = {
+    ActorKind.VEHICLE: 0.95,
+    ActorKind.PEDESTRIAN: 0.25,
+}
+#: Nominal half-lengths used to convert centre distance to bumper gap.
+_NOMINAL_HALF_LENGTH_M = {
+    ActorKind.VEHICLE: 2.3,
+    ActorKind.PEDESTRIAN: 0.25,
+}
+
+
+@dataclass(frozen=True)
+class PredictionConfig:
+    """Parameters of the lane-membership prediction."""
+
+    #: How far ahead (s) lateral motion is extrapolated.
+    horizon_s: float = 1.5
+    #: Extra lateral margin (m) added around the ego lane when testing overlap.
+    lateral_margin_m: float = 0.15
+    #: Minimum lateral speed (m/s) treated as genuine lateral motion (smaller
+    #: values are indistinguishable from detector noise).
+    min_lateral_speed_mps: float = 0.6
+    #: Obstacles closer than this are judged on their current lane membership
+    #: only; velocity-based extrapolation is too noisy at very short range (the
+    #: object is about to be passed anyway).
+    min_prediction_distance_m: float = 10.0
+
+    def __post_init__(self) -> None:
+        if self.horizon_s < 0:
+            raise ValueError("horizon must be non-negative")
+
+
+class ObstaclePredictor:
+    """Constant-velocity lane-membership prediction for fused obstacles."""
+
+    def __init__(self, road: Road, config: PredictionConfig | None = None):
+        self.road = road
+        self.config = config or PredictionConfig()
+
+    def half_width(self, obstacle: FusedObstacle) -> float:
+        return _NOMINAL_HALF_WIDTH_M[obstacle.kind]
+
+    def half_length(self, obstacle: FusedObstacle) -> float:
+        return _NOMINAL_HALF_LENGTH_M[obstacle.kind]
+
+    def bumper_gap(self, obstacle: FusedObstacle) -> float:
+        """Bumper-to-bumper gap from the ego front to the obstacle rear."""
+        return obstacle.distance_m - self.half_length(obstacle)
+
+    def currently_in_path(self, obstacle: FusedObstacle) -> bool:
+        """Whether the obstacle footprint overlaps the ego lane right now."""
+        margin = self.config.lateral_margin_m + self.half_width(obstacle)
+        return self.road.in_ego_lane(obstacle.lateral_m, margin=margin)
+
+    def predicted_lateral(self, obstacle: FusedObstacle) -> float:
+        """Lateral position extrapolated to the prediction horizon."""
+        lateral_speed = obstacle.lateral_velocity_mps
+        if abs(lateral_speed) < self.config.min_lateral_speed_mps:
+            lateral_speed = 0.0
+        return obstacle.lateral_m + lateral_speed * self.config.horizon_s
+
+    def predicted_in_path(self, obstacle: FusedObstacle) -> bool:
+        """Whether the obstacle is expected to overlap the ego lane soon."""
+        if obstacle.distance_m < self.config.min_prediction_distance_m:
+            return False
+        margin = self.config.lateral_margin_m + self.half_width(obstacle)
+        return self.road.in_ego_lane(self.predicted_lateral(obstacle), margin=margin)
+
+    def is_relevant(self, obstacle: FusedObstacle) -> bool:
+        """In path now, or predicted to be in path within the horizon."""
+        if obstacle.distance_m <= 0:
+            return False
+        return self.currently_in_path(obstacle) or self.predicted_in_path(obstacle)
+
+    def nearest_in_path(self, obstacles: List[FusedObstacle]) -> Optional[FusedObstacle]:
+        """The closest obstacle that is (or will be) in the ego path."""
+        relevant = [o for o in obstacles if self.is_relevant(o)]
+        if not relevant:
+            return None
+        return min(relevant, key=lambda o: o.distance_m)
+
+    def pedestrians_near_path(
+        self, obstacles: List[FusedObstacle], max_distance_m: float, caution_margin_m: float
+    ) -> List[FusedObstacle]:
+        """Pedestrians close to the ego lane boundary (caution-speed rule)."""
+        nearby: List[FusedObstacle] = []
+        for obstacle in obstacles:
+            if obstacle.kind is not ActorKind.PEDESTRIAN:
+                continue
+            if not 0.0 < obstacle.distance_m <= max_distance_m:
+                continue
+            margin = caution_margin_m + self.half_width(obstacle)
+            if self.road.in_ego_lane(obstacle.lateral_m, margin=margin):
+                nearby.append(obstacle)
+        return nearby

@@ -1,0 +1,47 @@
+"""The ADS world model ``W_t``.
+
+A thin container over the fused obstacle list plus the ego state estimate —
+"a model of the world, which consists of the positions and velocities of
+objects around the EV" (paper §II-A).  The planner queries it through the
+obstacle predictor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.perception.fusion import FusedObstacle
+from repro.sensors.gps_imu import EgoPoseEstimate
+
+__all__ = ["WorldModel"]
+
+
+@dataclass(frozen=True)
+class WorldModel:
+    """Snapshot of everything the ADS believes about the world at time t."""
+
+    time_s: float
+    ego: EgoPoseEstimate
+    obstacles: tuple[FusedObstacle, ...]
+
+    def obstacle_count(self) -> int:
+        return len(self.obstacles)
+
+    def obstacles_ahead(self, max_distance_m: float | None = None) -> List[FusedObstacle]:
+        """Obstacles ahead of the EV, optionally limited to a distance."""
+        ahead = [o for o in self.obstacles if o.distance_m > 0]
+        if max_distance_m is not None:
+            ahead = [o for o in ahead if o.distance_m <= max_distance_m]
+        return sorted(ahead, key=lambda o: o.distance_m)
+
+    def nearest_obstacle(self) -> Optional[FusedObstacle]:
+        ahead = self.obstacles_ahead()
+        return ahead[0] if ahead else None
+
+    def obstacle_for_actor(self, actor_id: int) -> Optional[FusedObstacle]:
+        """Bookkeeping lookup by simulated actor id (metrics only)."""
+        for obstacle in self.obstacles:
+            if obstacle.actor_id == actor_id:
+                return obstacle
+        return None

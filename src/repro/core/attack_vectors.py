@@ -1,0 +1,49 @@
+"""The three attack vectors of paper §III-C.
+
+* ``MOVE_OUT`` — fool the EV into believing the in-path target object is
+  moving out of the ego lane (the EV then accelerates into it);
+* ``MOVE_IN`` — fool the EV into believing an off-path target object is moving
+  into the ego lane (forcing an emergency brake);
+* ``DISAPPEAR`` — fool the EV into believing the target object has vanished
+  (same downstream effect as ``MOVE_OUT``).
+"""
+
+from __future__ import annotations
+
+import enum
+
+__all__ = ["AttackVector"]
+
+
+class AttackVector(enum.Enum):
+    """Trajectory-hijacking attack vectors."""
+
+    MOVE_OUT = "move_out"
+    MOVE_IN = "move_in"
+    DISAPPEAR = "disappear"
+
+    @property
+    def perturbs_lateral_position(self) -> bool:
+        """Whether the vector works by shifting the perceived lateral position."""
+        return self in (AttackVector.MOVE_OUT, AttackVector.MOVE_IN)
+
+    @property
+    def suppresses_detections(self) -> bool:
+        """Whether the vector works by suppressing the object's detections."""
+        return self is AttackVector.DISAPPEAR
+
+    @property
+    def expected_hazard(self) -> str:
+        """The safety hazard the vector is designed to cause."""
+        if self is AttackVector.MOVE_IN:
+            return "forced emergency braking"
+        return "collision with the target object"
+
+    @staticmethod
+    def from_string(name: str) -> "AttackVector":
+        """Parse a vector from a case-insensitive name such as ``"Move_Out"``."""
+        normalized = name.strip().lower()
+        for vector in AttackVector:
+            if vector.value == normalized or vector.name.lower() == normalized:
+                return vector
+        raise ValueError(f"unknown attack vector {name!r}")

@@ -1,0 +1,270 @@
+"""Training the safety hijacker (paper §IV-B).
+
+The oracle ``f_alpha`` is trained on a dataset collected from driving
+simulations: each simulation run has a predefined trigger safety potential
+``delta_inject`` and an attack duration ``k`` — the attack starts as soon as
+the malware's own estimate of the safety potential drops to ``delta_inject``
+and is maintained for ``k`` frames.  The recorded response of the ADS provides
+the label:
+
+* for ``Move_Out`` / ``Disappear`` the label is the *ground-truth* safety
+  potential ``delta_{t+k}`` at the end of the attack window (the quantity that
+  determines whether an accident results);
+* for ``Move_In`` the label is the minimum *perceived* safety potential over
+  the attack window (the quantity that determines whether the ADS is forced
+  into emergency braking), because a Move_In attack does not reduce the true
+  safety potential (paper §VI-D).
+
+The collected dataset is used to train the 100-100-50 ReLU network with Adam
+on an L2 loss with a 60/40 train/validation split, exactly as in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.ads.agent import AdsAgent
+from repro.ads.planning import PlannerConfig
+from repro.core.attack_vectors import AttackVector
+from repro.core.robotack import CameraMitmAttackerBase, RoboTackConfig
+from repro.core.safety_hijacker import AttackFeatures, NeuralSafetyPredictor
+from repro.core.scenario_matcher import ScenarioMatcher
+from repro.nn import Adam, FeedForwardNetwork, TrainingResult, train_network
+from repro.perception.transforms import WorldObjectEstimate
+from repro.sim.config import SimulationConfig
+from repro.sim.road import Road
+from repro.sim.scenarios import ScenarioVariation, build_scenario
+from repro.sim.simulator import SimulationResult, Simulator
+
+__all__ = [
+    "ScriptedAttacker",
+    "SafetyDataset",
+    "collect_safety_dataset",
+    "train_neural_safety_predictor",
+]
+
+#: Clamp applied to infinite perceived safety potentials ("road looks clear").
+_CLEAR_ROAD_DELTA_M = 60.0
+
+
+class ScriptedAttacker(CameraMitmAttackerBase):
+    """Launches a fixed attack vector at a predefined trigger safety potential.
+
+    Used only for data collection: the attack starts when the malware's own
+    estimate of the safety potential first drops to ``delta_inject`` and lasts
+    exactly ``k`` frames.
+    """
+
+    def __init__(
+        self,
+        road: Road,
+        vector: AttackVector,
+        delta_inject_m: float,
+        k_frames: int,
+        config: RoboTackConfig | None = None,
+        rng: np.random.Generator | None = None,
+    ):
+        config = config or RoboTackConfig(allowed_vectors=(vector,))
+        super().__init__(road, config, rng)
+        self.vector = vector
+        self.delta_inject_m = delta_inject_m
+        self.k_frames = int(k_frames)
+        self.scenario_matcher = ScenarioMatcher(
+            road, self.config.matcher, allowed_vectors=(vector,)
+        )
+
+    def _maybe_launch(
+        self, estimates: Sequence[WorldObjectEstimate], ego_speed_mps: float
+    ) -> Optional[tuple[AttackVector, int, WorldObjectEstimate, Optional[AttackFeatures], float]]:
+        target = self._closest_target(estimates)
+        if target is None:
+            return None
+        if self.scenario_matcher.match(target) is not self.vector:
+            return None
+        features = self._features_for(target, ego_speed_mps)
+        if features.delta_m > self.delta_inject_m:
+            return None
+        return self.vector, self.k_frames, target, features, float("nan")
+
+
+@dataclass
+class SafetyDataset:
+    """Attack-response dataset for one attack vector."""
+
+    vector: AttackVector
+    scenario_id: str
+    #: Rows of ``[delta_t, v_rel, a_rel, k]``.
+    inputs: np.ndarray
+    #: Rows of ``[delta_{t+k}]`` (ground-truth or perceived, depending on vector).
+    targets: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.inputs = np.atleast_2d(np.asarray(self.inputs, dtype=float))
+        self.targets = np.atleast_2d(np.asarray(self.targets, dtype=float).reshape(-1, 1))
+        if self.inputs.shape[0] != self.targets.shape[0]:
+            raise ValueError("inputs and targets must have the same number of rows")
+
+    @property
+    def n_samples(self) -> int:
+        return int(self.inputs.shape[0])
+
+    def merged_with(self, other: "SafetyDataset") -> "SafetyDataset":
+        """Concatenate two datasets for the same attack vector."""
+        if other.vector is not self.vector:
+            raise ValueError("cannot merge datasets for different attack vectors")
+        return SafetyDataset(
+            vector=self.vector,
+            scenario_id=f"{self.scenario_id}+{other.scenario_id}",
+            inputs=np.vstack([self.inputs, other.inputs]),
+            targets=np.vstack([self.targets, other.targets]),
+        )
+
+
+def _label_for_run(
+    vector: AttackVector,
+    result: SimulationResult,
+    attacker: ScriptedAttacker,
+    k_frames: int,
+) -> Optional[float]:
+    """Extract the training label from one simulation run, if the attack fired."""
+    if not attacker.record.launched or attacker.record.start_frame is None:
+        return None
+    start_step = attacker.record.start_frame - 1
+    if vector is AttackVector.MOVE_IN:
+        # The Move_In hazard is forced emergency braking: the label is the
+        # perceived safety potential at the moment the faked in-path obstacle
+        # first appears to the planner (the first finite perceived delta in the
+        # window).  If it never appears (the window was too short to complete
+        # the shift), the attack had no effect and the label saturates at the
+        # clear-road value.
+        trace = result.events.perceived_delta_trace
+        window = trace[start_step : start_step + k_frames + 15]
+        if not window:
+            return None
+        for value in window:
+            if value < _CLEAR_ROAD_DELTA_M:
+                return float(value)
+        return float(_CLEAR_ROAD_DELTA_M)
+    # Move_Out / Disappear: the hazard is a collision with the real target, so
+    # the label is the minimum ground-truth safety potential over the attack
+    # window (plus a short settling margin, since the closest approach can fall
+    # a few frames after the final perturbed frame).
+    trace = result.events.true_delta_trace
+    if not trace:
+        return None
+    window = trace[start_step : start_step + k_frames + 15]
+    if not window:
+        return None
+    return float(min(min(window), _CLEAR_ROAD_DELTA_M))
+
+
+def collect_safety_dataset(
+    scenario_id: str,
+    vector: AttackVector,
+    delta_inject_values: Sequence[float],
+    k_values: Sequence[int],
+    seed: int = 0,
+    repeats: int = 1,
+    simulation_config: SimulationConfig | None = None,
+) -> SafetyDataset:
+    """Run the scripted-attack simulations and assemble the training dataset.
+
+    Each ``(delta_inject, k)`` grid point is simulated ``repeats`` times with
+    independently randomized scenario variations.
+    """
+    if repeats < 1:
+        raise ValueError("repeats must be at least 1")
+    rng = np.random.default_rng(seed)
+    simulation_config = simulation_config or SimulationConfig()
+    inputs: List[List[float]] = []
+    targets: List[float] = []
+    grid = [
+        (float(delta_inject), int(k_frames))
+        for delta_inject in delta_inject_values
+        for k_frames in k_values
+        for _ in range(repeats)
+    ]
+    for delta_inject, k_frames in grid:
+        variation = ScenarioVariation.sample(rng)
+        scenario = build_scenario(scenario_id, variation)
+        ads = AdsAgent(
+            road=scenario.road,
+            planner_config=PlannerConfig(cruise_speed_mps=scenario.cruise_speed_mps),
+            rng=np.random.default_rng(int(rng.integers(0, 2**31 - 1))),
+        )
+        attacker = ScriptedAttacker(
+            road=scenario.road,
+            vector=vector,
+            delta_inject_m=delta_inject,
+            k_frames=k_frames,
+            rng=np.random.default_rng(int(rng.integers(0, 2**31 - 1))),
+        )
+        simulator = Simulator(
+            scenario,
+            ads,
+            config=simulation_config,
+            attacker=attacker,
+            rng=np.random.default_rng(int(rng.integers(0, 2**31 - 1))),
+        )
+        result = simulator.run()
+        label = _label_for_run(vector, result, attacker, k_frames)
+        features = attacker.record.features_at_launch
+        if label is None or features is None:
+            continue
+        inputs.append(list(features.as_array(k_frames)))
+        targets.append(label)
+    if not inputs:
+        raise RuntimeError(
+            f"no training samples collected for {scenario_id}/{vector.value}; "
+            "check the delta_inject grid against the scenario geometry"
+        )
+    return SafetyDataset(
+        vector=vector,
+        scenario_id=scenario_id,
+        inputs=np.asarray(inputs, dtype=float),
+        targets=np.asarray(targets, dtype=float).reshape(-1, 1),
+    )
+
+
+def train_neural_safety_predictor(
+    dataset: SafetyDataset,
+    epochs: int = 200,
+    learning_rate: float = 1e-3,
+    seed: int = 0,
+) -> tuple[NeuralSafetyPredictor, TrainingResult]:
+    """Train the paper's NN oracle on a collected dataset.
+
+    Returns the ready-to-use predictor (with input standardization baked in)
+    and the training history.
+    """
+    rng = np.random.default_rng(seed)
+    means = dataset.inputs.mean(axis=0)
+    stds = dataset.inputs.std(axis=0)
+    stds = np.where(stds <= 1e-9, 1.0, stds)
+    normalized_inputs = (dataset.inputs - means) / stds
+    target_mean = float(dataset.targets.mean())
+    target_std = float(dataset.targets.std())
+    if target_std <= 1e-9:
+        target_std = 1.0
+    normalized_targets = (dataset.targets - target_mean) / target_std
+
+    network = FeedForwardNetwork.safety_hijacker_architecture(
+        NeuralSafetyPredictor.INPUT_DIM, rng=rng
+    )
+    result = train_network(
+        network,
+        normalized_inputs,
+        normalized_targets,
+        epochs=epochs,
+        batch_size=32,
+        optimizer=Adam(learning_rate=learning_rate),
+        train_fraction=0.6,
+        rng=rng,
+    )
+    predictor = NeuralSafetyPredictor(
+        network, means, stds, target_mean=target_mean, target_std=target_std
+    )
+    return predictor, result

@@ -1,0 +1,71 @@
+"""Experiment harness: campaigns, metrics, and table/figure generators.
+
+This package regenerates every table and figure of the paper's evaluation
+(§VI) on top of the simulation substrate:
+
+* :mod:`repro.experiments.characterization` — the detector characterization of
+  Fig. 5 (misdetection bursts, bounding-box centre noise);
+* :mod:`repro.experiments.campaign` — seeded campaigns of attacked simulation
+  runs (RoboTack, RoboTack without the safety hijacker, random baseline,
+  golden runs);
+* :mod:`repro.experiments.results` / :mod:`repro.experiments.metrics` — per-run
+  records and campaign aggregation (emergency-braking and crash rates);
+* :mod:`repro.experiments.tables` — Table I and Table II;
+* :mod:`repro.experiments.figures` — Fig. 6 (safety-potential boxplots),
+  Fig. 7 (K' distributions), and Fig. 8 (safety-hijacker prediction quality).
+"""
+
+from repro.experiments.campaign import (
+    AttackerKind,
+    CampaignConfig,
+    PredictorKind,
+    clear_caches,
+    get_or_train_predictor,
+    run_campaign,
+    run_single_experiment,
+)
+from repro.experiments.characterization import CharacterizationReport, characterize_detector
+from repro.experiments.figures import (
+    Fig6Panel,
+    Fig7Panel,
+    Fig8Data,
+    fig6_panels,
+    fig7_panels,
+    fig8_data,
+)
+from repro.experiments.metrics import CampaignSummary, summarize_campaign
+from repro.experiments.results import CampaignResult, RunResult
+from repro.experiments.tables import (
+    Table1Row,
+    Table2Row,
+    headline_findings,
+    table1_rows,
+    table2_rows,
+)
+
+__all__ = [
+    "AttackerKind",
+    "CampaignConfig",
+    "PredictorKind",
+    "clear_caches",
+    "get_or_train_predictor",
+    "run_campaign",
+    "run_single_experiment",
+    "CharacterizationReport",
+    "characterize_detector",
+    "Fig6Panel",
+    "Fig7Panel",
+    "Fig8Data",
+    "fig6_panels",
+    "fig7_panels",
+    "fig8_data",
+    "CampaignSummary",
+    "summarize_campaign",
+    "CampaignResult",
+    "RunResult",
+    "Table1Row",
+    "Table2Row",
+    "headline_findings",
+    "table1_rows",
+    "table2_rows",
+]

@@ -1,0 +1,302 @@
+"""Campaign runner: seeded batches of (possibly attacked) simulation runs.
+
+A *campaign* fixes a driving scenario, an attack vector, and an attacker kind
+(RoboTack, RoboTack without the safety hijacker, the random baseline, or no
+attacker at all) and executes ``n_runs`` independent, seeded simulation runs
+with randomized initial conditions — mirroring the experimental campaigns of
+paper §VI-C ("a set of simulation runs executed with the same driving scenario
+and attack vector").
+
+Safety-hijacker predictors are trained once per (scenario, vector) pair and
+cached for the lifetime of the process, as are campaign results, so that the
+table and figure benchmarks can share work.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.ads.agent import AdsAgent
+from repro.ads.planning import PlannerConfig
+from repro.core.attack_vectors import AttackVector
+from repro.core.baselines import RandomAttacker, RoboTackWithoutSafetyHijacker
+from repro.core.robotack import CameraMitmAttackerBase, RoboTack, RoboTackConfig
+from repro.core.safety_hijacker import (
+    KinematicSafetyPredictor,
+    SafetyHijacker,
+    SafetyPredictor,
+)
+from repro.core.training import collect_safety_dataset, train_neural_safety_predictor
+from repro.experiments.results import CampaignResult, RunResult
+from repro.sim.config import SimulationConfig
+from repro.sim.scenarios import DrivingScenario, ScenarioVariation, build_scenario
+from repro.sim.simulator import SimulationResult, Simulator
+
+__all__ = [
+    "AttackerKind",
+    "PredictorKind",
+    "CampaignConfig",
+    "run_single_experiment",
+    "run_campaign",
+    "get_or_train_predictor",
+    "clear_caches",
+]
+
+
+class AttackerKind(enum.Enum):
+    """Which attacker (if any) is installed on the camera link."""
+
+    ROBOTACK = "robotack"
+    ROBOTACK_NO_SH = "robotack_no_sh"
+    RANDOM = "random"
+    NONE = "none"
+
+
+class PredictorKind(enum.Enum):
+    """Which safety-potential oracle the safety hijacker uses."""
+
+    NEURAL = "neural"
+    KINEMATIC = "kinematic"
+
+
+#: Training grids (delta_inject values, k values) per scenario used to collect
+#: the safety-hijacker dataset.  Pedestrian scenarios use shorter windows.
+_TRAINING_GRIDS: Dict[str, Tuple[Tuple[float, ...], Tuple[int, ...]]] = {
+    "DS-1": ((28.0, 24.0, 21.0, 18.0, 15.0, 12.0), (30, 42, 50, 58)),
+    "DS-2": ((55.0, 48.0, 42.0, 38.0, 34.0, 30.0), (10, 16, 22, 28)),
+    "DS-3": ((20.0, 15.0, 11.0, 7.0, 3.0, 0.0), (12, 25, 40, 55)),
+    "DS-4": ((16.0, 12.0, 9.0, 6.0, 3.0, 0.0), (10, 16, 23, 30)),
+    "DS-5": ((28.0, 24.0, 21.0, 18.0, 15.0, 12.0), (30, 42, 50, 58)),
+}
+
+_PREDICTOR_CACHE: Dict[Tuple[str, AttackVector, PredictorKind, int], SafetyPredictor] = {}
+_CAMPAIGN_CACHE: Dict[Tuple, CampaignResult] = {}
+
+
+def clear_caches() -> None:
+    """Drop all cached predictors and campaign results (mainly for tests)."""
+    _PREDICTOR_CACHE.clear()
+    _CAMPAIGN_CACHE.clear()
+
+
+@dataclass(frozen=True)
+class CampaignConfig:
+    """Specification of one experimental campaign."""
+
+    campaign_id: str
+    scenario_id: str
+    attacker: AttackerKind
+    vector: Optional[AttackVector] = None
+    n_runs: int = 30
+    seed: int = 2020
+    predictor: PredictorKind = PredictorKind.NEURAL
+    #: Epochs used when training the neural predictor for this campaign.
+    training_epochs: int = 200
+    simulation: SimulationConfig = field(default_factory=SimulationConfig)
+
+    def __post_init__(self) -> None:
+        if self.n_runs <= 0:
+            raise ValueError("n_runs must be positive")
+        if self.attacker in (AttackerKind.ROBOTACK, AttackerKind.ROBOTACK_NO_SH) and self.vector is None:
+            raise ValueError("RoboTack campaigns must pin an attack vector")
+
+    def cache_key(self) -> Tuple:
+        return (
+            self.campaign_id,
+            self.scenario_id,
+            self.attacker,
+            self.vector,
+            self.n_runs,
+            self.seed,
+            self.predictor,
+        )
+
+
+def build_ads_agent(scenario: DrivingScenario, rng: np.random.Generator) -> AdsAgent:
+    """Construct the victim ADS agent for a scenario."""
+    return AdsAgent(
+        road=scenario.road,
+        planner_config=PlannerConfig(cruise_speed_mps=scenario.cruise_speed_mps),
+        rng=rng,
+    )
+
+
+def get_or_train_predictor(
+    scenario_id: str,
+    vector: AttackVector,
+    kind: PredictorKind = PredictorKind.NEURAL,
+    seed: int = 7,
+    training_epochs: int = 120,
+) -> SafetyPredictor:
+    """Return the safety-potential oracle for a scenario/vector, training it if needed."""
+    cache_key = (scenario_id, vector, kind, seed)
+    if cache_key in _PREDICTOR_CACHE:
+        return _PREDICTOR_CACHE[cache_key]
+    if kind is PredictorKind.KINEMATIC:
+        predictor: SafetyPredictor = KinematicSafetyPredictor(vector)
+    else:
+        delta_grid, k_grid = _TRAINING_GRIDS[scenario_id]
+        dataset = collect_safety_dataset(
+            scenario_id=scenario_id,
+            vector=vector,
+            delta_inject_values=delta_grid,
+            k_values=k_grid,
+            seed=seed,
+            repeats=2,
+        )
+        predictor, _ = train_neural_safety_predictor(
+            dataset, epochs=training_epochs, seed=seed
+        )
+    _PREDICTOR_CACHE[cache_key] = predictor
+    return predictor
+
+
+def _build_attacker(
+    config: CampaignConfig,
+    scenario: DrivingScenario,
+    rng: np.random.Generator,
+) -> Optional[CameraMitmAttackerBase]:
+    if config.attacker is AttackerKind.NONE:
+        return None
+    allowed = (config.vector,) if config.vector is not None else tuple(AttackVector)
+    attack_config = RoboTackConfig(allowed_vectors=allowed)
+    if config.attacker is AttackerKind.ROBOTACK:
+        predictor = get_or_train_predictor(
+            config.scenario_id,
+            config.vector,
+            kind=config.predictor,
+            training_epochs=config.training_epochs,
+        )
+        hijacker = SafetyHijacker(predictor)
+        return RoboTack(scenario.road, hijacker, attack_config, rng=rng)
+    if config.attacker is AttackerKind.ROBOTACK_NO_SH:
+        return RoboTackWithoutSafetyHijacker(scenario.road, attack_config, rng=rng)
+    return RandomAttacker(
+        scenario.road,
+        attack_config,
+        rng=rng,
+        candidate_target_actor_ids=[actor.actor_id for actor in scenario.world.actors],
+    )
+
+
+def _true_delta_at_attack_end(
+    result: SimulationResult, attacker: Optional[CameraMitmAttackerBase]
+) -> float:
+    if attacker is None or not attacker.record.launched or attacker.record.start_frame is None:
+        return float("nan")
+    trace = result.events.true_delta_trace
+    if not trace:
+        return float("nan")
+    index = min(
+        attacker.record.start_frame - 1 + attacker.record.planned_k_frames, len(trace) - 1
+    )
+    return float(trace[index])
+
+
+def run_single_experiment(config: CampaignConfig, run_index: int) -> RunResult:
+    """Execute one seeded run of a campaign and summarize it."""
+    run_seed = int(np.random.SeedSequence([config.seed, run_index]).generate_state(1)[0])
+    rng = np.random.default_rng(run_seed)
+    variation = ScenarioVariation.sample(rng)
+    scenario = build_scenario(config.scenario_id, variation)
+    ads = build_ads_agent(scenario, np.random.default_rng(int(rng.integers(0, 2**31 - 1))))
+    attacker = _build_attacker(config, scenario, np.random.default_rng(int(rng.integers(0, 2**31 - 1))))
+    simulator = Simulator(
+        scenario,
+        ads,
+        config=config.simulation,
+        attacker=attacker,
+        rng=np.random.default_rng(int(rng.integers(0, 2**31 - 1))),
+    )
+    result = simulator.run()
+
+    record = attacker.record if attacker is not None else None
+    min_delta = result.min_true_delta_from_attack()
+    accident = result.accident_occurred(config.simulation.halt_gap_m)
+    return RunResult(
+        run_index=run_index,
+        seed=run_seed,
+        scenario_id=config.scenario_id,
+        attacker_kind=config.attacker.value,
+        vector=record.vector if record is not None else None,
+        target_kind=record.target_kind if record is not None else scenario.target_kind,
+        attack_launched=bool(record.launched) if record is not None else False,
+        emergency_braking=result.emergency_braking_occurred,
+        collision=result.collision_occurred,
+        accident=accident,
+        min_true_delta_m=min_delta,
+        true_delta_at_attack_end_m=_true_delta_at_attack_end(result, attacker),
+        predicted_delta_m=record.predicted_delta_m if record is not None else float("nan"),
+        planned_k_frames=record.planned_k_frames if record is not None else 0,
+        frames_perturbed=record.frames_perturbed if record is not None else 0,
+        k_prime_frames=record.shift_frames_k_prime if record is not None else 0,
+        delta_at_launch_m=(
+            record.features_at_launch.delta_m
+            if record is not None and record.features_at_launch is not None
+            else float("nan")
+        ),
+    )
+
+
+def run_campaign(config: CampaignConfig, use_cache: bool = True) -> CampaignResult:
+    """Execute all runs of a campaign (results are cached per process)."""
+    key = config.cache_key()
+    if use_cache and key in _CAMPAIGN_CACHE:
+        return _CAMPAIGN_CACHE[key]
+    campaign = CampaignResult(
+        campaign_id=config.campaign_id,
+        scenario_id=config.scenario_id,
+        attacker_kind=config.attacker.value,
+        vector=config.vector,
+    )
+    for run_index in range(config.n_runs):
+        campaign.runs.append(run_single_experiment(config, run_index))
+    if use_cache:
+        _CAMPAIGN_CACHE[key] = campaign
+    return campaign
+
+
+def standard_campaigns(
+    n_runs: int = 30,
+    seed: int = 2020,
+    attacker: AttackerKind = AttackerKind.ROBOTACK,
+    predictor: PredictorKind = PredictorKind.NEURAL,
+) -> Sequence[CampaignConfig]:
+    """The six RoboTack campaigns of paper Table II (without the random baseline)."""
+    pairs = [
+        ("DS-1", AttackVector.DISAPPEAR),
+        ("DS-2", AttackVector.DISAPPEAR),
+        ("DS-1", AttackVector.MOVE_OUT),
+        ("DS-2", AttackVector.MOVE_OUT),
+        ("DS-3", AttackVector.MOVE_IN),
+        ("DS-4", AttackVector.MOVE_IN),
+    ]
+    suffix = "R" if attacker is AttackerKind.ROBOTACK else "R-wo-SH"
+    return [
+        CampaignConfig(
+            campaign_id=f"{scenario}-{vector.name.title()}-{suffix}",
+            scenario_id=scenario,
+            attacker=attacker,
+            vector=vector,
+            n_runs=n_runs,
+            seed=seed,
+            predictor=predictor,
+        )
+        for scenario, vector in pairs
+    ]
+
+
+def baseline_random_campaign(n_runs: int = 30, seed: int = 2020) -> CampaignConfig:
+    """The DS-5 Baseline-Random campaign of paper Table II."""
+    return CampaignConfig(
+        campaign_id="DS-5-Baseline-Random",
+        scenario_id="DS-5",
+        attacker=AttackerKind.RANDOM,
+        vector=None,
+        n_runs=n_runs,
+        seed=seed,
+    )

@@ -1,0 +1,167 @@
+"""Table generators.
+
+* :func:`table1_rows` regenerates the scenario-matching map of paper Table I
+  directly from the implemented :class:`ScenarioMatcher` rules.
+* :func:`table2_rows` turns a set of campaign results into the rows of paper
+  Table II (median attack window K, run counts, emergency-braking and crash
+  rates), and :func:`headline_findings` computes the paper's §I headline
+  comparisons (RoboTack vs. random baseline, pedestrians vs. vehicles).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.attack_vectors import AttackVector
+from repro.core.scenario_matcher import ScenarioMatcher
+from repro.experiments.metrics import CampaignSummary, combined_rates, summarize_campaign
+from repro.experiments.results import CampaignResult
+from repro.perception.transforms import WorldObjectEstimate
+from repro.sim.actors import ActorKind
+from repro.sim.road import Road
+
+__all__ = ["Table1Row", "Table2Row", "table1_rows", "table2_rows", "headline_findings"]
+
+
+@dataclass(frozen=True)
+class Table1Row:
+    """One cell row of paper Table I."""
+
+    trajectory: str
+    in_ev_lane: bool
+    vectors: tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class Table2Row:
+    """One row of paper Table II."""
+
+    campaign_id: str
+    median_k: float
+    n_runs: int
+    emergency_braking_count: int
+    emergency_braking_rate: float
+    crash_count: Optional[int]
+    crash_rate: Optional[float]
+
+
+def _estimate(kind: ActorKind, lateral_m: float, lateral_velocity_mps: float) -> WorldObjectEstimate:
+    return WorldObjectEstimate(
+        track_id=1,
+        actor_id=1,
+        kind=kind,
+        distance_m=30.0,
+        lateral_m=lateral_m,
+        relative_longitudinal_velocity_mps=-2.0,
+        relative_longitudinal_acceleration_mps2=0.0,
+        lateral_velocity_mps=lateral_velocity_mps,
+        age_frames=10,
+    )
+
+
+def table1_rows(road: Road | None = None) -> List[Table1Row]:
+    """Regenerate the scenario-matching map of paper Table I."""
+    road = road or Road()
+    matcher = ScenarioMatcher(road)
+    rows: List[Table1Row] = []
+    # (trajectory label, in-lane lateral, out-of-lane lateral, lateral velocity sign)
+    # The in-lane probe sits slightly off the lane centre so that "towards the
+    # lane centre" (moving in) versus "away from it" (moving out) is well defined.
+    cases = [
+        ("Moving In", 0.8, 3.5, -1.0),
+        ("Keep", 0.8, 3.5, 0.0),
+        ("Moving Out", 0.8, 3.5, 1.0),
+    ]
+    for label, in_lane_lateral, out_lane_lateral, velocity_sign in cases:
+        for in_lane, lateral in ((True, in_lane_lateral), (False, out_lane_lateral)):
+            # Lateral velocity towards the lane centre is "moving in".
+            if velocity_sign == 0.0:
+                lateral_velocity = 0.0
+            else:
+                towards_center = -1.0 if lateral >= 0 else 1.0
+                lateral_velocity = towards_center if velocity_sign < 0 else -towards_center
+            estimate = _estimate(ActorKind.VEHICLE, lateral, lateral_velocity)
+            vectors = matcher.candidate_vectors(estimate)
+            rows.append(
+                Table1Row(
+                    trajectory=label,
+                    in_ev_lane=in_lane,
+                    vectors=tuple(v.name for v in vectors),
+                )
+            )
+    return rows
+
+
+def table2_rows(campaigns: Sequence[CampaignResult]) -> List[Table2Row]:
+    """Build the rows of paper Table II from campaign results."""
+    rows: List[Table2Row] = []
+    for campaign in campaigns:
+        summary: CampaignSummary = summarize_campaign(campaign)
+        is_move_in = campaign.vector is AttackVector.MOVE_IN
+        rows.append(
+            Table2Row(
+                campaign_id=summary.campaign_id,
+                median_k=summary.median_k_frames,
+                n_runs=summary.n_runs,
+                emergency_braking_count=summary.emergency_braking_count,
+                emergency_braking_rate=summary.emergency_braking_rate,
+                crash_count=None if is_move_in else summary.accident_count,
+                crash_rate=None if is_move_in else summary.accident_rate,
+            )
+        )
+    return rows
+
+
+def headline_findings(
+    robotack_campaigns: Sequence[CampaignResult],
+    random_campaign: CampaignResult,
+) -> Dict[str, float]:
+    """Compute the paper's §I headline comparisons from campaign results.
+
+    Keys:
+
+    * ``robotack_eb_rate`` / ``random_eb_rate`` and their ratio
+      (paper: 75.2 % vs 2.3 %, a 33x improvement);
+    * ``robotack_crash_rate`` / ``random_crash_rate`` (paper: 52.6 % vs 0 %);
+    * ``pedestrian_success_rate`` / ``vehicle_success_rate``
+      (paper: 84.1 % vs 31.7 %).
+    """
+    eb_rate, crash_rate = combined_rates(robotack_campaigns)
+    random_eb = random_campaign.emergency_braking_rate
+    random_crash = random_campaign.accident_rate
+
+    pedestrian_runs = [
+        r
+        for c in robotack_campaigns
+        for r in c.runs
+        if r.target_kind is ActorKind.PEDESTRIAN
+    ]
+    vehicle_runs = [
+        r for c in robotack_campaigns for r in c.runs if r.target_kind is ActorKind.VEHICLE
+    ]
+
+    def success_rate(runs) -> float:
+        if not runs:
+            return 0.0
+        # A run counts as a success when it produced the hazard the vector
+        # aims for: an accident for Move_Out/Disappear, emergency braking for
+        # Move_In (paper §VI-C).
+        successes = 0
+        for run in runs:
+            if run.vector is AttackVector.MOVE_IN:
+                successes += int(run.emergency_braking)
+            else:
+                successes += int(run.accident)
+        return successes / len(runs)
+
+    eb_ratio = eb_rate / random_eb if random_eb > 0 else float("inf")
+    return {
+        "robotack_eb_rate": eb_rate,
+        "robotack_crash_rate": crash_rate,
+        "random_eb_rate": random_eb,
+        "random_crash_rate": random_crash,
+        "eb_improvement_ratio": eb_ratio,
+        "pedestrian_success_rate": success_rate(pedestrian_runs),
+        "vehicle_success_rate": success_rate(vehicle_runs),
+    }

@@ -1,0 +1,18 @@
+"""Geometric primitives: 2-D vectors, bounding boxes, and camera projection.
+
+These primitives are shared by the simulator (world-frame positions), the
+sensors (image-plane bounding boxes), and the perception stack (IoU-based
+association, bbox <-> world transforms).
+"""
+
+from repro.geometry.vec import Vec2
+from repro.geometry.bbox import BoundingBox, iou
+from repro.geometry.projection import CameraIntrinsics, CameraProjection
+
+__all__ = [
+    "Vec2",
+    "BoundingBox",
+    "iou",
+    "CameraIntrinsics",
+    "CameraProjection",
+]

@@ -1,0 +1,109 @@
+"""Axis-aligned bounding boxes and Intersection-over-Union.
+
+Bounding boxes are the lingua franca of the perception stack: the simulated
+camera projects world objects into image-plane boxes, the simulated detector
+emits noisy boxes, the Kalman trackers maintain box states, and the Hungarian
+matcher associates the two sets using IoU (paper §II-B, footnote 3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+__all__ = ["BoundingBox", "iou"]
+
+
+@dataclass(frozen=True)
+class BoundingBox:
+    """Axis-aligned box parameterized by centre, width, and height.
+
+    Coordinates are in pixels when the box lives on the image plane and in
+    metres when it lives in the world frame; the class itself is unit-agnostic.
+    """
+
+    cx: float
+    cy: float
+    width: float
+    height: float
+
+    def __post_init__(self) -> None:
+        if self.width < 0 or self.height < 0:
+            raise ValueError(
+                f"bounding box dimensions must be non-negative, got "
+                f"width={self.width}, height={self.height}"
+            )
+
+    @property
+    def x_min(self) -> float:
+        return self.cx - self.width / 2.0
+
+    @property
+    def x_max(self) -> float:
+        return self.cx + self.width / 2.0
+
+    @property
+    def y_min(self) -> float:
+        return self.cy - self.height / 2.0
+
+    @property
+    def y_max(self) -> float:
+        return self.cy + self.height / 2.0
+
+    @property
+    def area(self) -> float:
+        return self.width * self.height
+
+    @property
+    def center(self) -> tuple[float, float]:
+        return (self.cx, self.cy)
+
+    def translated(self, dx: float, dy: float) -> "BoundingBox":
+        """Return a copy shifted by ``(dx, dy)``."""
+        return replace(self, cx=self.cx + dx, cy=self.cy + dy)
+
+    def scaled(self, factor: float) -> "BoundingBox":
+        """Return a copy with width and height scaled by ``factor``."""
+        if factor < 0:
+            raise ValueError(f"scale factor must be non-negative, got {factor}")
+        return replace(self, width=self.width * factor, height=self.height * factor)
+
+    def intersection_area(self, other: "BoundingBox") -> float:
+        """Area of overlap with ``other`` (zero when disjoint)."""
+        overlap_w = min(self.x_max, other.x_max) - max(self.x_min, other.x_min)
+        overlap_h = min(self.y_max, other.y_max) - max(self.y_min, other.y_min)
+        if overlap_w <= 0.0 or overlap_h <= 0.0:
+            return 0.0
+        return overlap_w * overlap_h
+
+    def iou(self, other: "BoundingBox") -> float:
+        """Intersection over Union with ``other``."""
+        return iou(self, other)
+
+    def contains_point(self, x: float, y: float) -> bool:
+        """Whether the point ``(x, y)`` lies inside (or on) the box."""
+        return self.x_min <= x <= self.x_max and self.y_min <= y <= self.y_max
+
+    @staticmethod
+    def from_corners(x_min: float, y_min: float, x_max: float, y_max: float) -> "BoundingBox":
+        """Construct a box from corner coordinates."""
+        if x_max < x_min or y_max < y_min:
+            raise ValueError("max corner must not be smaller than min corner")
+        return BoundingBox(
+            cx=(x_min + x_max) / 2.0,
+            cy=(y_min + y_max) / 2.0,
+            width=x_max - x_min,
+            height=y_max - y_min,
+        )
+
+
+def iou(a: BoundingBox, b: BoundingBox) -> float:
+    """Intersection over Union of two boxes, in [0, 1].
+
+    Defined as (area of overlap) / (area of union); two zero-area boxes have
+    IoU 0 by convention.
+    """
+    inter = a.intersection_area(b)
+    union = a.area + b.area - inter
+    if union <= 0.0:
+        return 0.0
+    return inter / union

@@ -1,0 +1,72 @@
+"""A minimal immutable 2-D vector.
+
+The simulator works in a road-aligned frame:
+
+* ``x`` is the longitudinal coordinate (metres along the road, increasing in
+  the ego vehicle's direction of travel);
+* ``y`` is the lateral coordinate (metres, positive to the left of the ego
+  lane centre).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+__all__ = ["Vec2"]
+
+
+@dataclass(frozen=True)
+class Vec2:
+    """Immutable 2-D vector with the usual arithmetic operations."""
+
+    x: float
+    y: float
+
+    def __add__(self, other: "Vec2") -> "Vec2":
+        return Vec2(self.x + other.x, self.y + other.y)
+
+    def __sub__(self, other: "Vec2") -> "Vec2":
+        return Vec2(self.x - other.x, self.y - other.y)
+
+    def __mul__(self, scalar: float) -> "Vec2":
+        return Vec2(self.x * scalar, self.y * scalar)
+
+    def __rmul__(self, scalar: float) -> "Vec2":
+        return self.__mul__(scalar)
+
+    def __truediv__(self, scalar: float) -> "Vec2":
+        if scalar == 0:
+            raise ZeroDivisionError("division of Vec2 by zero")
+        return Vec2(self.x / scalar, self.y / scalar)
+
+    def __neg__(self) -> "Vec2":
+        return Vec2(-self.x, -self.y)
+
+    def dot(self, other: "Vec2") -> float:
+        """Dot product with ``other``."""
+        return self.x * other.x + self.y * other.y
+
+    def norm(self) -> float:
+        """Euclidean length."""
+        return math.hypot(self.x, self.y)
+
+    def distance_to(self, other: "Vec2") -> float:
+        """Euclidean distance to ``other``."""
+        return (self - other).norm()
+
+    def normalized(self) -> "Vec2":
+        """Unit vector in the same direction; zero vector stays zero."""
+        n = self.norm()
+        if n == 0.0:
+            return Vec2(0.0, 0.0)
+        return Vec2(self.x / n, self.y / n)
+
+    def as_tuple(self) -> tuple[float, float]:
+        """Return ``(x, y)``."""
+        return (self.x, self.y)
+
+    @staticmethod
+    def zero() -> "Vec2":
+        """The zero vector."""
+        return Vec2(0.0, 0.0)

@@ -1,0 +1,28 @@
+"""A small, pure-NumPy feed-forward neural network substrate.
+
+The paper's safety hijacker is a fully-connected network with three hidden
+layers (100, 100, 50 neurons), ReLU activations, dropout 0.1, trained with the
+Adam optimizer on an L2 loss (paper §IV-B).  This package implements exactly
+that stack from scratch: dense layers, activations, dropout, losses, Adam/SGD
+optimizers, and a mini-batch training loop with train/validation splitting.
+"""
+
+from repro.nn.layers import Dense, Dropout, ReLU
+from repro.nn.losses import MeanSquaredError
+from repro.nn.network import FeedForwardNetwork
+from repro.nn.optimizers import SGD, Adam
+from repro.nn.training import TrainingHistory, TrainingResult, train_network, train_validation_split
+
+__all__ = [
+    "Dense",
+    "Dropout",
+    "ReLU",
+    "MeanSquaredError",
+    "FeedForwardNetwork",
+    "Adam",
+    "SGD",
+    "TrainingHistory",
+    "TrainingResult",
+    "train_network",
+    "train_validation_split",
+]

@@ -1,0 +1,37 @@
+"""Loss functions.
+
+The safety hijacker is trained with the average squared L2 distance between
+the predicted and ground-truth safety potential (paper Eq. 3).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["MeanSquaredError"]
+
+
+class MeanSquaredError:
+    """Mean squared error over a batch, matching paper Eq. (3)."""
+
+    def forward(self, predictions: np.ndarray, targets: np.ndarray) -> float:
+        """Return the scalar loss for a batch."""
+        predictions = np.atleast_2d(np.asarray(predictions, dtype=float))
+        targets = np.atleast_2d(np.asarray(targets, dtype=float))
+        if predictions.shape != targets.shape:
+            raise ValueError(
+                f"prediction shape {predictions.shape} does not match target shape {targets.shape}"
+            )
+        diff = predictions - targets
+        return float(np.mean(np.sum(diff * diff, axis=1)))
+
+    def backward(self, predictions: np.ndarray, targets: np.ndarray) -> np.ndarray:
+        """Gradient of the loss w.r.t. the predictions."""
+        predictions = np.atleast_2d(np.asarray(predictions, dtype=float))
+        targets = np.atleast_2d(np.asarray(targets, dtype=float))
+        if predictions.shape != targets.shape:
+            raise ValueError(
+                f"prediction shape {predictions.shape} does not match target shape {targets.shape}"
+            )
+        batch_size = predictions.shape[0]
+        return 2.0 * (predictions - targets) / batch_size

@@ -1,0 +1,116 @@
+"""The feed-forward network container.
+
+``FeedForwardNetwork.safety_hijacker_architecture`` builds exactly the
+architecture described in paper §IV-B: three hidden layers of 100, 100, and 50
+neurons with ReLU activations and dropout rate 0.1, and a linear scalar output
+(the predicted safety potential).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.nn.layers import Dense, Dropout, Layer, ReLU
+
+__all__ = ["FeedForwardNetwork"]
+
+
+class FeedForwardNetwork:
+    """A sequential stack of layers with forward/backward passes."""
+
+    def __init__(self, layers: Sequence[Layer]):
+        if not layers:
+            raise ValueError("a network needs at least one layer")
+        self.layers: List[Layer] = list(layers)
+
+    @classmethod
+    def mlp(
+        cls,
+        input_dim: int,
+        hidden_dims: Sequence[int],
+        output_dim: int,
+        dropout_rate: float = 0.0,
+        rng: np.random.Generator | None = None,
+    ) -> "FeedForwardNetwork":
+        """Build a standard multi-layer perceptron with ReLU activations."""
+        rng = rng if rng is not None else np.random.default_rng()
+        dims = [input_dim, *hidden_dims]
+        layers: List[Layer] = []
+        for in_dim, out_dim in zip(dims[:-1], dims[1:]):
+            layers.append(Dense(in_dim, out_dim, rng=rng))
+            layers.append(ReLU())
+            if dropout_rate > 0.0:
+                layers.append(Dropout(dropout_rate, rng=rng))
+        layers.append(Dense(dims[-1], output_dim, rng=rng))
+        return cls(layers)
+
+    @classmethod
+    def safety_hijacker_architecture(
+        cls, input_dim: int, rng: np.random.Generator | None = None
+    ) -> "FeedForwardNetwork":
+        """The 100-100-50 ReLU/dropout-0.1 architecture from paper §IV-B."""
+        return cls.mlp(
+            input_dim=input_dim,
+            hidden_dims=(100, 100, 50),
+            output_dim=1,
+            dropout_rate=0.1,
+            rng=rng,
+        )
+
+    def forward(self, inputs: np.ndarray, training: bool = False) -> np.ndarray:
+        """Run the forward pass for a batch of inputs."""
+        out = np.atleast_2d(np.asarray(inputs, dtype=float))
+        for layer in self.layers:
+            out = layer.forward(out, training=training)
+        return out
+
+    def predict(self, inputs: np.ndarray) -> np.ndarray:
+        """Inference-mode forward pass (dropout disabled)."""
+        return self.forward(inputs, training=False)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        """Back-propagate the loss gradient through every layer."""
+        grad = grad_output
+        for layer in reversed(self.layers):
+            grad = layer.backward(grad)
+        return grad
+
+    def trainable_layers(self) -> List[Layer]:
+        """Layers that expose trainable parameters."""
+        return [layer for layer in self.layers if layer.parameters()]
+
+    def num_parameters(self) -> int:
+        """Total count of trainable scalar parameters."""
+        return sum(
+            int(np.prod(param.shape))
+            for layer in self.trainable_layers()
+            for param in layer.parameters().values()
+        )
+
+    def get_weights(self) -> List[Dict[str, np.ndarray]]:
+        """Copy out all parameters (for checkpointing / tests)."""
+        return [
+            {name: param.copy() for name, param in layer.parameters().items()}
+            for layer in self.trainable_layers()
+        ]
+
+    def set_weights(self, weights: List[Dict[str, np.ndarray]]) -> None:
+        """Load parameters previously produced by :meth:`get_weights`."""
+        trainable = self.trainable_layers()
+        if len(weights) != len(trainable):
+            raise ValueError(
+                f"expected weights for {len(trainable)} layers, got {len(weights)}"
+            )
+        for layer, layer_weights in zip(trainable, weights):
+            params = layer.parameters()
+            for name, value in layer_weights.items():
+                if name not in params:
+                    raise KeyError(f"unknown parameter {name!r}")
+                if params[name].shape != value.shape:
+                    raise ValueError(
+                        f"shape mismatch for {name!r}: "
+                        f"{params[name].shape} vs {value.shape}"
+                    )
+                params[name][...] = value

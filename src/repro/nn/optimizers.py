@@ -1,0 +1,95 @@
+"""Gradient-descent optimizers: SGD and Adam.
+
+The paper trains the safety hijacker with Adam; SGD is provided for ablation
+and testing.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from repro.nn.layers import Layer
+
+__all__ = ["Optimizer", "SGD", "Adam"]
+
+
+class Optimizer:
+    """Base class: updates layer parameters in place from their gradients."""
+
+    def step(self, layers: List[Layer]) -> None:
+        """Apply one update to every trainable parameter in ``layers``."""
+        raise NotImplementedError
+
+
+class SGD(Optimizer):
+    """Plain stochastic gradient descent with optional momentum."""
+
+    def __init__(self, learning_rate: float = 1e-2, momentum: float = 0.0):
+        if learning_rate <= 0:
+            raise ValueError("learning rate must be positive")
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError("momentum must be in [0, 1)")
+        self.learning_rate = learning_rate
+        self.momentum = momentum
+        self._velocity: Dict[int, Dict[str, np.ndarray]] = {}
+
+    def step(self, layers: List[Layer]) -> None:
+        for layer in layers:
+            params = layer.parameters()
+            grads = layer.gradients()
+            if not params:
+                continue
+            state = self._velocity.setdefault(id(layer), {})
+            for name, param in params.items():
+                grad = grads[name]
+                if self.momentum > 0.0:
+                    vel = state.setdefault(name, np.zeros_like(param))
+                    vel *= self.momentum
+                    vel -= self.learning_rate * grad
+                    param += vel
+                else:
+                    param -= self.learning_rate * grad
+
+
+class Adam(Optimizer):
+    """Adam optimizer (Kingma & Ba), used to train the safety hijacker."""
+
+    def __init__(
+        self,
+        learning_rate: float = 1e-3,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        epsilon: float = 1e-8,
+    ):
+        if learning_rate <= 0:
+            raise ValueError("learning rate must be positive")
+        if not 0.0 <= beta1 < 1.0 or not 0.0 <= beta2 < 1.0:
+            raise ValueError("betas must be in [0, 1)")
+        self.learning_rate = learning_rate
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.epsilon = epsilon
+        self._m: Dict[int, Dict[str, np.ndarray]] = {}
+        self._v: Dict[int, Dict[str, np.ndarray]] = {}
+        self._t = 0
+
+    def step(self, layers: List[Layer]) -> None:
+        self._t += 1
+        for layer in layers:
+            params = layer.parameters()
+            grads = layer.gradients()
+            if not params:
+                continue
+            m_state = self._m.setdefault(id(layer), {})
+            v_state = self._v.setdefault(id(layer), {})
+            for name, param in params.items():
+                grad = grads[name]
+                m = m_state.setdefault(name, np.zeros_like(param))
+                v = v_state.setdefault(name, np.zeros_like(param))
+                m[...] = self.beta1 * m + (1.0 - self.beta1) * grad
+                v[...] = self.beta2 * v + (1.0 - self.beta2) * grad * grad
+                m_hat = m / (1.0 - self.beta1**self._t)
+                v_hat = v / (1.0 - self.beta2**self._t)
+                param -= self.learning_rate * m_hat / (np.sqrt(v_hat) + self.epsilon)

@@ -1,0 +1,131 @@
+"""Mini-batch training loop with train/validation splitting.
+
+The paper trains the safety hijacker with Adam on a 60 %/40 % train/validation
+split of the attack-response dataset (paper §IV-B); :func:`train_network`
+implements that loop generically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.nn.losses import MeanSquaredError
+from repro.nn.network import FeedForwardNetwork
+from repro.nn.optimizers import Adam, Optimizer
+
+__all__ = ["TrainingHistory", "TrainingResult", "train_validation_split", "train_network"]
+
+
+@dataclass
+class TrainingHistory:
+    """Per-epoch loss curves."""
+
+    train_loss: List[float] = field(default_factory=list)
+    validation_loss: List[float] = field(default_factory=list)
+
+    @property
+    def final_train_loss(self) -> float:
+        if not self.train_loss:
+            raise ValueError("no training epochs recorded")
+        return self.train_loss[-1]
+
+    @property
+    def final_validation_loss(self) -> float:
+        if not self.validation_loss:
+            raise ValueError("no validation epochs recorded")
+        return self.validation_loss[-1]
+
+
+@dataclass
+class TrainingResult:
+    """Outcome of :func:`train_network`."""
+
+    network: FeedForwardNetwork
+    history: TrainingHistory
+    n_train_samples: int
+    n_validation_samples: int
+
+
+def train_validation_split(
+    inputs: np.ndarray,
+    targets: np.ndarray,
+    train_fraction: float = 0.6,
+    rng: np.random.Generator | None = None,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Shuffle and split a dataset into train and validation subsets.
+
+    The default 60/40 split matches the paper.
+    """
+    if not 0.0 < train_fraction < 1.0:
+        raise ValueError(f"train_fraction must be in (0, 1), got {train_fraction}")
+    inputs = np.atleast_2d(np.asarray(inputs, dtype=float))
+    targets = np.atleast_2d(np.asarray(targets, dtype=float))
+    if inputs.shape[0] != targets.shape[0]:
+        raise ValueError("inputs and targets must have the same number of rows")
+    rng = rng if rng is not None else np.random.default_rng()
+    n = inputs.shape[0]
+    order = rng.permutation(n)
+    n_train = max(1, int(round(n * train_fraction)))
+    n_train = min(n_train, n - 1) if n > 1 else n
+    train_idx, val_idx = order[:n_train], order[n_train:]
+    return inputs[train_idx], targets[train_idx], inputs[val_idx], targets[val_idx]
+
+
+def train_network(
+    network: FeedForwardNetwork,
+    inputs: np.ndarray,
+    targets: np.ndarray,
+    epochs: int = 50,
+    batch_size: int = 32,
+    optimizer: Optimizer | None = None,
+    train_fraction: float = 0.6,
+    rng: np.random.Generator | None = None,
+) -> TrainingResult:
+    """Train ``network`` on ``(inputs, targets)`` with mini-batch gradient descent.
+
+    Returns the trained network along with per-epoch train/validation loss
+    curves.  The loss is the mean squared error of paper Eq. (3).
+    """
+    if epochs <= 0:
+        raise ValueError("epochs must be positive")
+    if batch_size <= 0:
+        raise ValueError("batch_size must be positive")
+    rng = rng if rng is not None else np.random.default_rng()
+    optimizer = optimizer if optimizer is not None else Adam(learning_rate=1e-3)
+    loss_fn = MeanSquaredError()
+
+    x_train, y_train, x_val, y_val = train_validation_split(
+        inputs, targets, train_fraction=train_fraction, rng=rng
+    )
+    history = TrainingHistory()
+    n_train = x_train.shape[0]
+
+    for _ in range(epochs):
+        order = rng.permutation(n_train)
+        epoch_losses: List[float] = []
+        for start in range(0, n_train, batch_size):
+            batch_idx = order[start : start + batch_size]
+            x_batch = x_train[batch_idx]
+            y_batch = y_train[batch_idx]
+            predictions = network.forward(x_batch, training=True)
+            batch_loss = loss_fn.forward(predictions, y_batch)
+            grad = loss_fn.backward(predictions, y_batch)
+            network.backward(grad)
+            optimizer.step(network.trainable_layers())
+            epoch_losses.append(batch_loss)
+        history.train_loss.append(float(np.mean(epoch_losses)))
+        if x_val.shape[0] > 0:
+            val_predictions = network.predict(x_val)
+            history.validation_loss.append(loss_fn.forward(val_predictions, y_val))
+        else:
+            history.validation_loss.append(history.train_loss[-1])
+
+    return TrainingResult(
+        network=network,
+        history=history,
+        n_train_samples=int(x_train.shape[0]),
+        n_validation_samples=int(x_val.shape[0]),
+    )

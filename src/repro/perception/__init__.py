@@ -1,0 +1,48 @@
+"""The AV perception system (the attack's target).
+
+This package reproduces the tracking-by-detection pipeline of paper §II-B and
+Fig. 1:
+
+* a simulated YOLOv3-class object detector with calibrated Gaussian
+  bounding-box noise and exponential misdetection bursts
+  (:mod:`repro.perception.detection`);
+* per-object Kalman-filter trackers ("F" in Fig. 1)
+  (:mod:`repro.perception.kalman`, :mod:`repro.perception.tracker`);
+* Hungarian matching of detections to trackers ("M" in Fig. 1)
+  (:mod:`repro.perception.hungarian`);
+* the multi-object tracker that ties them together
+  (:mod:`repro.perception.mot`);
+* the image-to-world transformation ("T" in Fig. 1)
+  (:mod:`repro.perception.transforms`);
+* camera/LiDAR sensor fusion (:mod:`repro.perception.fusion`);
+* and the full perception system facade (:mod:`repro.perception.pipeline`).
+"""
+
+from repro.perception.detection import Detection, DetectorNoiseModel, SimulatedDetector
+from repro.perception.fusion import FusedObstacle, FusionConfig, SensorFusion
+from repro.perception.hungarian import hungarian_assignment
+from repro.perception.kalman import BoundingBoxKalmanFilter, KalmanFilter
+from repro.perception.mot import MultiObjectTracker, TrackerConfig
+from repro.perception.pipeline import PerceptionConfig, PerceptionOutput, PerceptionSystem
+from repro.perception.tracker import ObjectTrack
+from repro.perception.transforms import ImageToWorldTransform, WorldObjectEstimate
+
+__all__ = [
+    "Detection",
+    "DetectorNoiseModel",
+    "SimulatedDetector",
+    "FusedObstacle",
+    "FusionConfig",
+    "SensorFusion",
+    "hungarian_assignment",
+    "BoundingBoxKalmanFilter",
+    "KalmanFilter",
+    "MultiObjectTracker",
+    "TrackerConfig",
+    "PerceptionConfig",
+    "PerceptionOutput",
+    "PerceptionSystem",
+    "ObjectTrack",
+    "ImageToWorldTransform",
+    "WorldObjectEstimate",
+]

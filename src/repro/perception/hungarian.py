@@ -1,0 +1,96 @@
+"""The Hungarian (Kuhn-Munkres) assignment algorithm.
+
+The multi-object tracker formulates the association of detections to existing
+trackers as a bipartite matching problem solved with the Hungarian algorithm
+("M" in paper Fig. 1).  This is a from-scratch O(n^3) implementation using the
+shortest-augmenting-path formulation with potentials; it is also the matching
+cost that the trajectory hijacker maximizes in paper Eq. (4).
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+__all__ = ["hungarian_assignment", "assignment_total_cost"]
+
+
+def hungarian_assignment(cost_matrix: np.ndarray) -> List[Tuple[int, int]]:
+    """Solve the minimum-cost assignment problem.
+
+    ``cost_matrix`` has shape ``(n_rows, n_cols)``; the function returns a list
+    of ``(row, col)`` pairs forming a minimum-cost matching that covers
+    ``min(n_rows, n_cols)`` rows/columns.  The matrix does not need to be
+    square.
+    """
+    cost = np.asarray(cost_matrix, dtype=float)
+    if cost.ndim != 2:
+        raise ValueError("cost matrix must be two-dimensional")
+    n_rows, n_cols = cost.shape
+    if n_rows == 0 or n_cols == 0:
+        return []
+    transposed = False
+    if n_rows > n_cols:
+        cost = cost.T
+        n_rows, n_cols = cost.shape
+        transposed = True
+
+    # Potentials-based shortest augmenting path algorithm (1-indexed).
+    INF = float("inf")
+    u = np.zeros(n_rows + 1)
+    v = np.zeros(n_cols + 1)
+    match_for_col = np.zeros(n_cols + 1, dtype=int)
+    way = np.zeros(n_cols + 1, dtype=int)
+
+    for row in range(1, n_rows + 1):
+        match_for_col[0] = row
+        j0 = 0
+        min_values = np.full(n_cols + 1, INF)
+        used = np.zeros(n_cols + 1, dtype=bool)
+        while True:
+            used[j0] = True
+            i0 = match_for_col[j0]
+            delta = INF
+            j1 = -1
+            for j in range(1, n_cols + 1):
+                if used[j]:
+                    continue
+                current = cost[i0 - 1, j - 1] - u[i0] - v[j]
+                if current < min_values[j]:
+                    min_values[j] = current
+                    way[j] = j0
+                if min_values[j] < delta:
+                    delta = min_values[j]
+                    j1 = j
+            for j in range(n_cols + 1):
+                if used[j]:
+                    u[match_for_col[j]] += delta
+                    v[j] -= delta
+                else:
+                    min_values[j] -= delta
+            j0 = j1
+            if match_for_col[j0] == 0:
+                break
+        while True:
+            j1 = way[j0]
+            match_for_col[j0] = match_for_col[j1]
+            j0 = j1
+            if j0 == 0:
+                break
+
+    pairs: List[Tuple[int, int]] = []
+    for col in range(1, n_cols + 1):
+        row = match_for_col[col]
+        if row > 0:
+            pairs.append((row - 1, col - 1))
+    if transposed:
+        pairs = [(col, row) for row, col in pairs]
+    pairs.sort()
+    return pairs
+
+
+def assignment_total_cost(cost_matrix: np.ndarray, pairs: List[Tuple[int, int]]) -> float:
+    """Total cost of an assignment returned by :func:`hungarian_assignment`."""
+    cost = np.asarray(cost_matrix, dtype=float)
+    return float(sum(cost[row, col] for row, col in pairs))

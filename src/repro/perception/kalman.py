@@ -1,0 +1,137 @@
+"""Kalman filters.
+
+The per-object tracker in the paper's perception system is a Kalman filter
+("F" in Fig. 1) operating in a recursive predict/update loop with a Gaussian
+measurement-noise model — which is precisely the assumption the attack
+exploits (paper §III-B: noise injected within one standard deviation of the
+modelled Gaussian cannot be distinguished from sensor noise, so the filter
+tracks it).
+
+:class:`KalmanFilter` is a generic linear filter; :class:`BoundingBoxKalmanFilter`
+specializes it to the constant-velocity bounding-box state used by the
+multi-object tracker.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.geometry import BoundingBox
+
+__all__ = ["KalmanFilter", "BoundingBoxKalmanFilter"]
+
+
+class KalmanFilter:
+    """Generic linear Kalman filter with constant matrices."""
+
+    def __init__(
+        self,
+        transition: np.ndarray,
+        observation: np.ndarray,
+        process_noise: np.ndarray,
+        measurement_noise: np.ndarray,
+        initial_state: np.ndarray,
+        initial_covariance: np.ndarray,
+    ):
+        self.transition = np.asarray(transition, dtype=float)
+        self.observation = np.asarray(observation, dtype=float)
+        self.process_noise = np.asarray(process_noise, dtype=float)
+        self.measurement_noise = np.asarray(measurement_noise, dtype=float)
+        self.state = np.asarray(initial_state, dtype=float).reshape(-1)
+        self.covariance = np.asarray(initial_covariance, dtype=float)
+        n = self.state.shape[0]
+        if self.transition.shape != (n, n):
+            raise ValueError("transition matrix shape does not match state dimension")
+        if self.covariance.shape != (n, n):
+            raise ValueError("covariance shape does not match state dimension")
+        m = self.observation.shape[0]
+        if self.observation.shape != (m, n):
+            raise ValueError("observation matrix shape is inconsistent")
+        if self.measurement_noise.shape != (m, m):
+            raise ValueError("measurement noise shape is inconsistent")
+
+    def predict(self) -> np.ndarray:
+        """Run the prediction step and return the predicted state."""
+        self.state = self.transition @ self.state
+        self.covariance = (
+            self.transition @ self.covariance @ self.transition.T + self.process_noise
+        )
+        return self.state.copy()
+
+    def update(self, measurement: np.ndarray) -> np.ndarray:
+        """Run the update step with a measurement and return the new state."""
+        measurement = np.asarray(measurement, dtype=float).reshape(-1)
+        innovation = measurement - self.observation @ self.state
+        innovation_cov = (
+            self.observation @ self.covariance @ self.observation.T + self.measurement_noise
+        )
+        gain = self.covariance @ self.observation.T @ np.linalg.inv(innovation_cov)
+        self.state = self.state + gain @ innovation
+        identity = np.eye(self.state.shape[0])
+        self.covariance = (identity - gain @ self.observation) @ self.covariance
+        return self.state.copy()
+
+    def predicted_measurement(self) -> np.ndarray:
+        """The measurement the filter expects given its current state."""
+        return self.observation @ self.state
+
+
+class BoundingBoxKalmanFilter:
+    """Constant-velocity Kalman filter over an image-plane bounding box.
+
+    State vector: ``[cx, cy, w, h, vx, vy]`` where ``vx, vy`` are the pixel
+    velocities of the box centre per frame.  Measurements are ``[cx, cy, w, h]``.
+    """
+
+    STATE_DIM = 6
+    MEASUREMENT_DIM = 4
+
+    def __init__(
+        self,
+        initial_bbox: BoundingBox,
+        process_noise_scale: float = 1.0,
+        measurement_noise_scale: float = 10.0,
+    ):
+        transition = np.eye(self.STATE_DIM)
+        transition[0, 4] = 1.0
+        transition[1, 5] = 1.0
+        observation = np.zeros((self.MEASUREMENT_DIM, self.STATE_DIM))
+        observation[0, 0] = observation[1, 1] = observation[2, 2] = observation[3, 3] = 1.0
+        process_noise = np.diag([1.0, 1.0, 0.5, 0.5, 2.0, 2.0]) * process_noise_scale
+        measurement_noise = np.eye(self.MEASUREMENT_DIM) * measurement_noise_scale
+        initial_state = np.array(
+            [initial_bbox.cx, initial_bbox.cy, initial_bbox.width, initial_bbox.height, 0.0, 0.0]
+        )
+        initial_covariance = np.diag([10.0, 10.0, 10.0, 10.0, 100.0, 100.0])
+        self._kf = KalmanFilter(
+            transition=transition,
+            observation=observation,
+            process_noise=process_noise,
+            measurement_noise=measurement_noise,
+            initial_state=initial_state,
+            initial_covariance=initial_covariance,
+        )
+
+    def predict(self) -> BoundingBox:
+        """Advance the filter one frame and return the predicted box."""
+        state = self._kf.predict()
+        return self._state_to_bbox(state)
+
+    def update(self, bbox: BoundingBox) -> BoundingBox:
+        """Incorporate a measured box and return the filtered box."""
+        self._kf.update(np.array([bbox.cx, bbox.cy, bbox.width, bbox.height]))
+        return self.current_bbox()
+
+    def current_bbox(self) -> BoundingBox:
+        """The current filtered box estimate."""
+        return self._state_to_bbox(self._kf.state)
+
+    def velocity_px_per_frame(self) -> tuple[float, float]:
+        """Estimated pixel velocity of the box centre, per frame."""
+        return (float(self._kf.state[4]), float(self._kf.state[5]))
+
+    @staticmethod
+    def _state_to_bbox(state: np.ndarray) -> BoundingBox:
+        width = max(float(state[2]), 1.0)
+        height = max(float(state[3]), 1.0)
+        return BoundingBox(cx=float(state[0]), cy=float(state[1]), width=width, height=height)

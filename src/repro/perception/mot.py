@@ -1,0 +1,154 @@
+"""Multi-object tracking by detection (paper Definition 2 and Fig. 1).
+
+Every frame the tracker:
+
+1. predicts each existing track one step forward with its Kalman filter,
+2. associates detections to predicted boxes with the Hungarian algorithm on an
+   IoU cost (a pair is only accepted when its IoU clears a threshold — this is
+   the association constraint λ that the trajectory hijacker must respect),
+3. updates matched tracks, marks unmatched tracks as missed, and spawns new
+   tracks for unmatched detections,
+4. retires tracks that have been missed for too many consecutive frames.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, List
+
+import numpy as np
+
+from repro.geometry import iou
+from repro.perception.detection import Detection
+from repro.perception.hungarian import hungarian_assignment
+from repro.perception.tracker import ObjectTrack
+
+__all__ = ["TrackerConfig", "MultiObjectTracker"]
+
+
+@dataclass(frozen=True)
+class TrackerConfig:
+    """Association and lifecycle parameters of the multi-object tracker."""
+
+    #: Minimum IoU between a detection and a predicted track box for the
+    #: Hungarian match to be accepted.
+    min_iou_for_match: float = 0.2
+    #: A match is also accepted when the centre distance between the detection
+    #: and the predicted box is below this many mean box widths (small,
+    #: fast-moving boxes such as distant pedestrians can lose IoU overlap for a
+    #: frame while clearly belonging to the same track).
+    center_distance_gate: float = 2.0
+    #: Number of consecutive missed frames after which a track is dropped.
+    max_consecutive_misses: int = 15
+    #: Number of associated detections before a track is considered confirmed.
+    min_hits_to_confirm: int = 2
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.min_iou_for_match <= 1.0:
+            raise ValueError("min_iou_for_match must be in [0, 1]")
+        if self.center_distance_gate <= 0:
+            raise ValueError("center_distance_gate must be positive")
+        if self.max_consecutive_misses < 1:
+            raise ValueError("max_consecutive_misses must be at least 1")
+        if self.min_hits_to_confirm < 1:
+            raise ValueError("min_hits_to_confirm must be at least 1")
+
+
+class MultiObjectTracker:
+    """Tracking-by-detection over image-plane bounding boxes."""
+
+    def __init__(self, config: TrackerConfig | None = None):
+        self.config = config or TrackerConfig()
+        self.tracks: Dict[int, ObjectTrack] = {}
+        self._next_track_id = itertools.count(1)
+
+    def reset(self) -> None:
+        """Drop all tracks."""
+        self.tracks.clear()
+
+    def step(self, detections: List[Detection]) -> List[ObjectTrack]:
+        """Process one frame of detections and return the live confirmed tracks."""
+        track_ids = list(self.tracks)
+        predicted_boxes = {tid: self.tracks[tid].predict() for tid in track_ids}
+
+        matched_track_ids, matched_detection_idx = self._associate(
+            track_ids, predicted_boxes, detections
+        )
+
+        for tid, det_idx in zip(matched_track_ids, matched_detection_idx):
+            self.tracks[tid].update(detections[det_idx])
+
+        unmatched_tracks = set(track_ids) - set(matched_track_ids)
+        for tid in unmatched_tracks:
+            self.tracks[tid].mark_missed()
+
+        matched_detections = set(matched_detection_idx)
+        for det_idx, detection in enumerate(detections):
+            if det_idx not in matched_detections:
+                track_id = next(self._next_track_id)
+                self.tracks[track_id] = ObjectTrack(track_id, detection)
+
+        self._retire_stale_tracks()
+        return self.confirmed_tracks()
+
+    def confirmed_tracks(self) -> List[ObjectTrack]:
+        """Tracks with enough supporting detections to be reported downstream."""
+        return [
+            track
+            for track in self.tracks.values()
+            if track.is_confirmed(self.config.min_hits_to_confirm)
+        ]
+
+    def track_for_actor(self, actor_id: int) -> ObjectTrack | None:
+        """Bookkeeping lookup: the track most recently fed by a given actor."""
+        for track in self.tracks.values():
+            if track.actor_id == actor_id:
+                return track
+        return None
+
+    def _associate(
+        self,
+        track_ids: List[int],
+        predicted_boxes: Dict[int, object],
+        detections: List[Detection],
+    ) -> tuple[List[int], List[int]]:
+        if not track_ids or not detections:
+            return [], []
+        cost = np.ones((len(track_ids), len(detections)))
+        acceptable = np.zeros((len(track_ids), len(detections)), dtype=bool)
+        for row, tid in enumerate(track_ids):
+            predicted = predicted_boxes[tid]
+            for col, detection in enumerate(detections):
+                overlap = iou(predicted, detection.bbox)
+                center_distance = np.hypot(
+                    predicted.cx - detection.bbox.cx, predicted.cy - detection.bbox.cy
+                )
+                mean_width = max(1.0, (predicted.width + detection.bbox.width) / 2.0)
+                normalized_distance = center_distance / mean_width
+                # The Hungarian cost prefers high-IoU pairs but still orders
+                # non-overlapping candidates by proximity.
+                cost[row, col] = (1.0 - overlap) + 0.05 * min(normalized_distance, 10.0)
+                width_ratio = detection.bbox.width / max(predicted.width, 1.0)
+                size_consistent = 0.4 <= width_ratio <= 2.5
+                acceptable[row, col] = size_consistent and (
+                    overlap >= self.config.min_iou_for_match
+                    or normalized_distance <= self.config.center_distance_gate
+                )
+        pairs = hungarian_assignment(cost)
+        matched_tracks: List[int] = []
+        matched_detections: List[int] = []
+        for row, col in pairs:
+            if acceptable[row, col]:
+                matched_tracks.append(track_ids[row])
+                matched_detections.append(col)
+        return matched_tracks, matched_detections
+
+    def _retire_stale_tracks(self) -> None:
+        stale = [
+            tid
+            for tid, track in self.tracks.items()
+            if track.consecutive_misses > self.config.max_consecutive_misses
+        ]
+        for tid in stale:
+            del self.tracks[tid]

@@ -1,0 +1,141 @@
+"""The full perception system facade.
+
+``PerceptionSystem`` wires together the simulated detector, the multi-object
+tracker, the image-to-world transformation, and (optionally) the camera/LiDAR
+fusion — the pipeline labelled "Perception System" in paper Fig. 1.
+
+Two configurations are used in the reproduction:
+
+* the **victim ADS** runs the full pipeline with LiDAR fusion enabled;
+* **RoboTack** runs a camera-only instance to reconstruct its own approximate
+  world state from the tapped camera feed (paper §III-D, Phase 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from repro.perception.detection import Detection, DetectorConfig, SimulatedDetector
+from repro.perception.fusion import FusedObstacle, FusionConfig, SensorFusion
+from repro.perception.mot import MultiObjectTracker, TrackerConfig
+from repro.perception.tracker import ObjectTrack
+from repro.perception.transforms import ImageToWorldTransform, WorldObjectEstimate
+from repro.sensors.camera import CameraFrame
+from repro.sensors.lidar import LidarScan
+
+__all__ = ["PerceptionConfig", "PerceptionOutput", "PerceptionSystem"]
+
+
+@dataclass(frozen=True)
+class PerceptionConfig:
+    """Configuration of the perception pipeline."""
+
+    detector: DetectorConfig = field(default_factory=DetectorConfig)
+    tracker: TrackerConfig = field(default_factory=TrackerConfig)
+    fusion: FusionConfig = field(default_factory=FusionConfig)
+    use_lidar: bool = True
+    frame_dt_s: float = 1.0 / 15.0
+
+
+@dataclass(frozen=True)
+class PerceptionOutput:
+    """Everything the perception system produces for one camera frame."""
+
+    time_s: float
+    frame_index: int
+    detections: tuple[Detection, ...]
+    tracks: tuple[ObjectTrack, ...]
+    world_estimates: tuple[WorldObjectEstimate, ...]
+    obstacles: tuple[FusedObstacle, ...]
+
+    def nearest_obstacle(self) -> Optional[FusedObstacle]:
+        """The closest registered obstacle, if any."""
+        return self.obstacles[0] if self.obstacles else None
+
+    def estimate_for_actor(self, actor_id: int) -> Optional[WorldObjectEstimate]:
+        """Bookkeeping lookup of the camera estimate for a given actor."""
+        for estimate in self.world_estimates:
+            if estimate.actor_id == actor_id:
+                return estimate
+        return None
+
+    def obstacle_for_actor(self, actor_id: int) -> Optional[FusedObstacle]:
+        """Bookkeeping lookup of the fused obstacle for a given actor."""
+        for obstacle in self.obstacles:
+            if obstacle.actor_id == actor_id:
+                return obstacle
+        return None
+
+
+class PerceptionSystem:
+    """Detector + tracker + transform (+ fusion) pipeline."""
+
+    def __init__(
+        self,
+        config: PerceptionConfig | None = None,
+        rng: np.random.Generator | None = None,
+    ):
+        self.config = config or PerceptionConfig()
+        self.detector = SimulatedDetector(self.config.detector, rng=rng)
+        self.tracker = MultiObjectTracker(self.config.tracker)
+        self.transform = ImageToWorldTransform(frame_dt_s=self.config.frame_dt_s)
+        self.fusion = SensorFusion(self.config.fusion) if self.config.use_lidar else None
+
+    def reset(self) -> None:
+        """Reset all stateful stages."""
+        self.detector.reset()
+        self.tracker.reset()
+        self.transform.reset()
+        if self.fusion is not None:
+            self.fusion.reset()
+
+    def process(
+        self,
+        camera_frame: CameraFrame,
+        lidar_scan: Optional[LidarScan] = None,
+        ego_speed_mps: float = 0.0,
+    ) -> PerceptionOutput:
+        """Run the pipeline on one camera frame (and optional LiDAR scan)."""
+        detections = self.detector.detect(camera_frame)
+        tracks = self.tracker.step(detections)
+        # Only tracks that were actually observed this frame (or missed a single
+        # frame) count as camera evidence downstream; coasting Kalman
+        # predictions are kept for re-association but are not world
+        # measurements, otherwise a vanished object would keep "existing" for
+        # the whole track-retirement window.
+        observed_tracks = [t for t in tracks if t.consecutive_misses <= 1]
+        world_estimates = self.transform.transform(observed_tracks)
+        if self.fusion is not None:
+            obstacles = self.fusion.step(
+                camera_estimates=world_estimates,
+                lidar_scan=lidar_scan,
+                ego_speed_mps=ego_speed_mps,
+                frame_dt_s=self.config.frame_dt_s,
+            )
+        else:
+            obstacles = [
+                FusedObstacle(
+                    obstacle_id=f"cam-{estimate.track_id}",
+                    kind=estimate.kind,
+                    distance_m=estimate.distance_m,
+                    lateral_m=estimate.lateral_m,
+                    longitudinal_speed_mps=max(
+                        0.0, ego_speed_mps + estimate.relative_longitudinal_velocity_mps
+                    ),
+                    lateral_velocity_mps=estimate.lateral_velocity_mps,
+                    sources=("camera",),
+                    actor_id=estimate.actor_id,
+                )
+                for estimate in world_estimates
+            ]
+        return PerceptionOutput(
+            time_s=camera_frame.time_s,
+            frame_index=camera_frame.frame_index,
+            detections=tuple(detections),
+            tracks=tuple(tracks),
+            world_estimates=tuple(world_estimates),
+            obstacles=tuple(obstacles),
+        )

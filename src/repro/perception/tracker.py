@@ -1,0 +1,63 @@
+"""A single object track: a Kalman filter plus lifecycle bookkeeping.
+
+Each detected object is associated with a unique tracker maintaining its state
+(paper Definition 1 / §II-B).  The track records hit/miss streaks so the
+multi-object tracker can confirm new tracks and retire stale ones, and keeps
+the bookkeeping ``actor_id`` of the detection that most recently updated it
+(used only by the simulation metrics and the attacker's target selection).
+"""
+
+from __future__ import annotations
+
+from repro.geometry import BoundingBox
+from repro.perception.detection import Detection
+from repro.perception.kalman import BoundingBoxKalmanFilter
+from repro.sim.actors import ActorKind
+
+__all__ = ["ObjectTrack"]
+
+
+class ObjectTrack:
+    """State of one tracked object in image space."""
+
+    def __init__(self, track_id: int, detection: Detection):
+        self.track_id = track_id
+        self.kind: ActorKind = detection.kind
+        self.filter = BoundingBoxKalmanFilter(detection.bbox)
+        self.actor_id = detection.actor_id
+        self.hits = 1
+        self.consecutive_misses = 0
+        self.age_frames = 1
+        self.last_predicted_bbox: BoundingBox = detection.bbox
+
+    def predict(self) -> BoundingBox:
+        """Advance the track's Kalman filter one frame."""
+        self.age_frames += 1
+        self.last_predicted_bbox = self.filter.predict()
+        return self.last_predicted_bbox
+
+    def update(self, detection: Detection) -> None:
+        """Incorporate an associated detection."""
+        self.filter.update(detection.bbox)
+        self.kind = detection.kind
+        self.actor_id = detection.actor_id
+        self.hits += 1
+        self.consecutive_misses = 0
+
+    def mark_missed(self) -> None:
+        """Record that no detection was associated with this track this frame."""
+        self.consecutive_misses += 1
+
+    @property
+    def bbox(self) -> BoundingBox:
+        """Current filtered bounding box."""
+        return self.filter.current_bbox()
+
+    @property
+    def velocity_px_per_frame(self) -> tuple[float, float]:
+        """Filtered pixel velocity of the box centre."""
+        return self.filter.velocity_px_per_frame()
+
+    def is_confirmed(self, min_hits: int) -> bool:
+        """Whether the track has enough supporting detections to be trusted."""
+        return self.hits >= min_hits

@@ -1,0 +1,123 @@
+"""The simulated front camera.
+
+Every simulation step the camera captures a :class:`CameraFrame` containing an
+image-plane bounding box per visible object.  The frame is the man-in-the-middle
+attack surface: RoboTack intercepts it on the camera's Ethernet link (paper
+§III-B) and mutates object boxes (or removes objects) before the ADS's object
+detector consumes it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import List, Optional
+
+from repro.geometry import BoundingBox, CameraIntrinsics, CameraProjection
+from repro.sim.actors import ActorKind, ActorSnapshot
+from repro.sim.world import GroundTruthSnapshot
+
+__all__ = ["CameraObject", "CameraFrame", "CameraSensor"]
+
+
+@dataclass(frozen=True)
+class CameraObject:
+    """One object as rendered in the camera frame.
+
+    ``actor_id`` identifies the underlying simulated actor; it is simulation
+    bookkeeping (used by the detector's per-object noise state and by the
+    metrics), not something the victim perception uses for association.
+    """
+
+    actor_id: int
+    kind: ActorKind
+    bbox: BoundingBox
+    distance_m: float
+    lateral_m: float
+    object_height_m: float
+    object_width_m: float
+
+
+@dataclass(frozen=True)
+class CameraFrame:
+    """All objects visible to the front camera at one time step."""
+
+    time_s: float
+    frame_index: int
+    objects: tuple[CameraObject, ...] = field(default_factory=tuple)
+
+    def object_for_actor(self, actor_id: int) -> Optional[CameraObject]:
+        """The rendering of a specific actor, if visible in this frame."""
+        for obj in self.objects:
+            if obj.actor_id == actor_id:
+                return obj
+        return None
+
+    def without_actor(self, actor_id: int) -> "CameraFrame":
+        """A copy of the frame with one actor removed (the `Disappear` attack)."""
+        return replace(
+            self, objects=tuple(o for o in self.objects if o.actor_id != actor_id)
+        )
+
+    def with_replaced_object(self, updated: CameraObject) -> "CameraFrame":
+        """A copy of the frame with one object replaced (bbox perturbation)."""
+        new_objects = tuple(
+            updated if o.actor_id == updated.actor_id else o for o in self.objects
+        )
+        return replace(self, objects=new_objects)
+
+
+class CameraSensor:
+    """Projects world actors into image-plane bounding boxes."""
+
+    def __init__(
+        self,
+        intrinsics: CameraIntrinsics | None = None,
+        max_range_m: float = 110.0,
+    ):
+        if max_range_m <= 0:
+            raise ValueError("camera range must be positive")
+        self.projection = CameraProjection(intrinsics)
+        self.max_range_m = max_range_m
+
+    def capture(self, snapshot: GroundTruthSnapshot) -> CameraFrame:
+        """Render all visible actors into a camera frame."""
+        ego = snapshot.ego
+        camera_x = ego.position.x + ego.dimensions.length_m / 2.0
+        objects: List[CameraObject] = []
+        for actor in snapshot.actors:
+            rendered = self._render_actor(actor, camera_x, ego.position.y)
+            if rendered is not None:
+                objects.append(rendered)
+        objects.sort(key=lambda o: o.distance_m)
+        return CameraFrame(
+            time_s=snapshot.time_s,
+            frame_index=snapshot.step_index,
+            objects=tuple(objects),
+        )
+
+    def _render_actor(
+        self, actor: ActorSnapshot, camera_x: float, ego_y: float
+    ) -> Optional[CameraObject]:
+        distance = actor.position.x - camera_x
+        if distance <= CameraProjection.MIN_DISTANCE_M or distance > self.max_range_m:
+            return None
+        lateral = actor.position.y - ego_y
+        if not self.projection.in_field_of_view(distance, lateral):
+            return None
+        # The camera sees the actor's cross-road extent: for vehicles ahead of
+        # the EV that is the vehicle width; height is the physical height.
+        bbox = self.projection.project(
+            distance_m=distance,
+            lateral_m=lateral,
+            object_width_m=actor.dimensions.width_m,
+            object_height_m=actor.dimensions.height_m,
+        )
+        return CameraObject(
+            actor_id=actor.actor_id,
+            kind=actor.kind,
+            bbox=bbox,
+            distance_m=distance,
+            lateral_m=lateral,
+            object_height_m=actor.dimensions.height_m,
+            object_width_m=actor.dimensions.width_m,
+        )

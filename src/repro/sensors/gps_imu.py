@@ -1,0 +1,67 @@
+"""GPS/IMU localization sensor.
+
+Provides the ego pose and speed with small Gaussian noise.  The attack model
+does not touch localization (the CAN bus and control path are assumed
+protected, paper §III-B), but the planner consumes the estimated ego speed, so
+the sensor exists to close the loop realistically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.geometry import Vec2
+from repro.sim.world import GroundTruthSnapshot
+
+__all__ = ["EgoPoseEstimate", "GpsImuSensor"]
+
+
+@dataclass(frozen=True)
+class EgoPoseEstimate:
+    """Estimated ego pose and kinematics."""
+
+    time_s: float
+    position: Vec2
+    speed_mps: float
+    acceleration_mps2: float
+
+
+class GpsImuSensor:
+    """Ego localization with configurable Gaussian noise."""
+
+    def __init__(
+        self,
+        position_noise_m: float = 0.05,
+        speed_noise_mps: float = 0.05,
+        rng: np.random.Generator | None = None,
+    ):
+        if position_noise_m < 0 or speed_noise_mps < 0:
+            raise ValueError("noise levels must be non-negative")
+        self.position_noise_m = position_noise_m
+        self.speed_noise_mps = speed_noise_mps
+        self._rng = rng if rng is not None else np.random.default_rng()
+        self._last_speed: float | None = None
+        self._last_time: float | None = None
+
+    def measure(self, snapshot: GroundTruthSnapshot) -> EgoPoseEstimate:
+        """Produce a pose estimate from the ground-truth snapshot."""
+        ego = snapshot.ego
+        position = Vec2(
+            ego.position.x + self._rng.normal(0.0, self.position_noise_m),
+            ego.position.y + self._rng.normal(0.0, self.position_noise_m),
+        )
+        speed = max(0.0, ego.speed + self._rng.normal(0.0, self.speed_noise_mps))
+        if self._last_speed is None or self._last_time is None or snapshot.time_s <= self._last_time:
+            acceleration = 0.0
+        else:
+            acceleration = (speed - self._last_speed) / (snapshot.time_s - self._last_time)
+        self._last_speed = speed
+        self._last_time = snapshot.time_s
+        return EgoPoseEstimate(
+            time_s=snapshot.time_s,
+            position=position,
+            speed_mps=speed,
+            acceleration_mps2=acceleration,
+        )

@@ -1,0 +1,178 @@
+"""Actors: the ego vehicle, scripted vehicles, and pedestrians.
+
+The ego vehicle (EV in the paper) is controlled by the ADS through a
+longitudinal acceleration command; every other actor follows a scripted
+waypoint route.  Actor footprints are axis-aligned rectangles in the road
+frame, which is sufficient for the straight-road scenarios of the paper.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass
+
+from repro.geometry import Vec2
+from repro.sim.waypoints import WaypointRoute
+
+__all__ = ["ActorKind", "ActorDimensions", "ActorSnapshot", "ScriptedActor", "EgoVehicle"]
+
+_actor_id_counter = itertools.count(1)
+
+
+class ActorKind(enum.Enum):
+    """Object classes recognized by the perception system."""
+
+    VEHICLE = "vehicle"
+    PEDESTRIAN = "pedestrian"
+
+
+@dataclass(frozen=True)
+class ActorDimensions:
+    """Physical footprint and height of an actor."""
+
+    length_m: float
+    width_m: float
+    height_m: float
+
+    def __post_init__(self) -> None:
+        if min(self.length_m, self.width_m, self.height_m) <= 0:
+            raise ValueError("actor dimensions must be positive")
+
+    @staticmethod
+    def sedan() -> "ActorDimensions":
+        return ActorDimensions(length_m=4.6, width_m=1.9, height_m=1.5)
+
+    @staticmethod
+    def suv() -> "ActorDimensions":
+        return ActorDimensions(length_m=4.9, width_m=2.0, height_m=1.8)
+
+    @staticmethod
+    def pedestrian() -> "ActorDimensions":
+        return ActorDimensions(length_m=0.5, width_m=0.5, height_m=1.7)
+
+
+@dataclass(frozen=True)
+class ActorSnapshot:
+    """Ground-truth state of one actor at a simulation step."""
+
+    actor_id: int
+    kind: ActorKind
+    position: Vec2
+    velocity: Vec2
+    dimensions: ActorDimensions
+    is_ego: bool = False
+
+    @property
+    def speed(self) -> float:
+        return self.velocity.norm()
+
+    def longitudinal_gap_to(self, other: "ActorSnapshot") -> float:
+        """Bumper-to-bumper longitudinal gap to ``other`` (negative if overlapping)."""
+        center_gap = abs(other.position.x - self.position.x)
+        return center_gap - (self.dimensions.length_m + other.dimensions.length_m) / 2.0
+
+    def lateral_overlap_with(self, other: "ActorSnapshot", margin: float = 0.0) -> bool:
+        """Whether the two footprints overlap laterally (within ``margin``)."""
+        half_widths = (self.dimensions.width_m + other.dimensions.width_m) / 2.0
+        return abs(other.position.y - self.position.y) <= half_widths + margin
+
+    def overlaps(self, other: "ActorSnapshot") -> bool:
+        """Whether the two rectangular footprints physically overlap."""
+        return self.longitudinal_gap_to(other) <= 0.0 and self.lateral_overlap_with(other)
+
+
+class ScriptedActor:
+    """A non-ego actor (vehicle or pedestrian) that follows a waypoint route."""
+
+    def __init__(
+        self,
+        kind: ActorKind,
+        route: WaypointRoute,
+        dimensions: ActorDimensions | None = None,
+        name: str | None = None,
+    ):
+        self.actor_id = next(_actor_id_counter)
+        self.kind = kind
+        self.route = route
+        if dimensions is None:
+            dimensions = (
+                ActorDimensions.sedan() if kind is ActorKind.VEHICLE else ActorDimensions.pedestrian()
+            )
+        self.dimensions = dimensions
+        self.name = name or f"{kind.value}-{self.actor_id}"
+
+    def step(self, dt: float) -> None:
+        """Advance the actor along its route."""
+        self.route.advance(dt)
+
+    def snapshot(self) -> ActorSnapshot:
+        """Current ground-truth state."""
+        return ActorSnapshot(
+            actor_id=self.actor_id,
+            kind=self.kind,
+            position=self.route.position,
+            velocity=self.route.velocity,
+            dimensions=self.dimensions,
+            is_ego=False,
+        )
+
+
+class EgoVehicle:
+    """The ego vehicle, driven longitudinally by the ADS acceleration command.
+
+    The EV keeps its lane (lateral position fixed); the paper's attacks and
+    scenarios are longitudinal, and Apollo's planner in those scenarios is in
+    lane-keep mode.
+    """
+
+    def __init__(
+        self,
+        position: Vec2,
+        speed_mps: float,
+        dimensions: ActorDimensions | None = None,
+        max_accel_mps2: float = 2.0,
+        max_decel_mps2: float = 6.0,
+    ):
+        if speed_mps < 0:
+            raise ValueError("initial speed must be non-negative")
+        self.actor_id = next(_actor_id_counter)
+        self.kind = ActorKind.VEHICLE
+        self.position = position
+        self.speed_mps = speed_mps
+        self.acceleration_mps2 = 0.0
+        self.dimensions = dimensions or ActorDimensions.sedan()
+        self.max_accel_mps2 = max_accel_mps2
+        self.max_decel_mps2 = max_decel_mps2
+        self.name = "ego"
+
+    def apply_control(self, acceleration_mps2: float, dt: float) -> None:
+        """Apply a longitudinal acceleration command for one time step."""
+        if dt <= 0:
+            raise ValueError("dt must be positive")
+        accel = float(
+            min(max(acceleration_mps2, -self.max_decel_mps2), self.max_accel_mps2)
+        )
+        self.acceleration_mps2 = accel
+        new_speed = max(0.0, self.speed_mps + accel * dt)
+        # Trapezoidal position update keeps the kinematics consistent when the
+        # speed clamps at zero.
+        avg_speed = (self.speed_mps + new_speed) / 2.0
+        self.position = Vec2(self.position.x + avg_speed * dt, self.position.y)
+        self.speed_mps = new_speed
+
+    def snapshot(self) -> ActorSnapshot:
+        """Current ground-truth state."""
+        return ActorSnapshot(
+            actor_id=self.actor_id,
+            kind=self.kind,
+            position=self.position,
+            velocity=Vec2(self.speed_mps, 0.0),
+            dimensions=self.dimensions,
+            is_ego=True,
+        )
+
+    @property
+    def front_bumper_x(self) -> float:
+        """Longitudinal coordinate of the front bumper."""
+        return self.position.x + self.dimensions.length_m / 2.0

@@ -1,0 +1,306 @@
+"""The five driving scenarios of paper §V-C (Fig. 4).
+
+* **DS-1** - the EV follows a target vehicle (TV) in its lane; the TV cruises
+  at 25 kph and starts 60 m ahead.  Used for `Disappear` / `Move_Out` attacks
+  on a vehicle.
+* **DS-2** - a pedestrian illegally crosses the street ahead of the EV.  Used
+  for `Disappear` / `Move_Out` attacks on a pedestrian.
+* **DS-3** - a target vehicle is parked in the parking lane.  Used for the
+  `Move_In` attack on a vehicle.
+* **DS-4** - a pedestrian walks longitudinally towards the EV in the parking
+  lane for 5 m and then stands still.  Used for the `Move_In` attack on a
+  pedestrian.
+* **DS-5** - the EV follows a target vehicle among several other vehicles with
+  random trajectories; the baseline random attack is evaluated here.
+
+Each scenario builder accepts a :class:`ScenarioVariation` that randomizes the
+initial conditions (speeds, gaps, pedestrian timing) so that campaigns of
+independent runs can be generated from seeds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from repro.geometry import Vec2
+from repro.sim.actors import ActorDimensions, ActorKind, EgoVehicle, ScriptedActor
+from repro.sim.road import Road
+from repro.sim.waypoints import Waypoint, WaypointRoute
+from repro.sim.world import World
+from repro.utils.units import kph_to_mps
+
+__all__ = [
+    "ScenarioVariation",
+    "DrivingScenario",
+    "build_scenario",
+    "list_scenario_ids",
+]
+
+#: Longitudinal coordinate (m) at which the ego vehicle starts in every scenario.
+_EGO_START_X = 0.0
+#: Default cruise speed of the EV (paper: 45 kph unless otherwise specified).
+_DEFAULT_CRUISE_KPH = 45.0
+
+
+@dataclass(frozen=True)
+class ScenarioVariation:
+    """Per-run randomization of a scenario's initial conditions."""
+
+    ego_speed_scale: float = 1.0
+    lead_gap_offset_m: float = 0.0
+    lead_speed_offset_mps: float = 0.0
+    pedestrian_delay_s: float = 0.0
+    pedestrian_speed_scale: float = 1.0
+    npc_seed: int = 0
+
+    @staticmethod
+    def sample(rng: np.random.Generator) -> "ScenarioVariation":
+        """Draw a random variation (used by experiment campaigns)."""
+        return ScenarioVariation(
+            ego_speed_scale=float(rng.uniform(0.95, 1.05)),
+            lead_gap_offset_m=float(rng.uniform(-8.0, 8.0)),
+            lead_speed_offset_mps=float(rng.uniform(-0.8, 0.8)),
+            pedestrian_delay_s=float(rng.uniform(0.0, 1.5)),
+            pedestrian_speed_scale=float(rng.uniform(0.9, 1.15)),
+            npc_seed=int(rng.integers(0, 2**31 - 1)),
+        )
+
+    @staticmethod
+    def nominal() -> "ScenarioVariation":
+        """The unperturbed scenario (useful for golden-run tests)."""
+        return ScenarioVariation()
+
+
+@dataclass
+class DrivingScenario:
+    """A fully-instantiated scenario ready to be simulated."""
+
+    scenario_id: str
+    description: str
+    world: World
+    road: Road
+    cruise_speed_mps: float
+    #: Actor id of the intended attack target (the TV or the pedestrian).
+    target_actor_id: Optional[int]
+    #: Kind of the intended attack target.
+    target_kind: Optional[ActorKind]
+    duration_s: float
+    #: Additional scenario metadata (initial gaps etc.), for logging.
+    metadata: Dict[str, float] = field(default_factory=dict)
+
+
+def _make_ego(speed_mps: float) -> EgoVehicle:
+    return EgoVehicle(position=Vec2(_EGO_START_X, 0.0), speed_mps=speed_mps)
+
+
+def _build_ds1(variation: ScenarioVariation) -> DrivingScenario:
+    """DS-1: EV follows a constant-speed target vehicle in the ego lane."""
+    road = Road()
+    cruise = kph_to_mps(_DEFAULT_CRUISE_KPH) * variation.ego_speed_scale
+    tv_speed = max(1.0, kph_to_mps(25.0) + variation.lead_speed_offset_mps)
+    start_gap = 60.0 + variation.lead_gap_offset_m
+    ego = _make_ego(speed_mps=cruise)
+    tv_start = Vec2(_EGO_START_X + start_gap, 0.0)
+    tv_route = WaypointRoute.straight_line(
+        start=tv_start, end=Vec2(tv_start.x + 1500.0, 0.0), speed_mps=tv_speed
+    )
+    target = ScriptedActor(ActorKind.VEHICLE, tv_route, ActorDimensions.suv(), name="target-vehicle")
+    world = World(ego=ego, actors=[target], road=road)
+    return DrivingScenario(
+        scenario_id="DS-1",
+        description="EV follows a target vehicle cruising at 25 kph, starting 60 m ahead",
+        world=world,
+        road=road,
+        cruise_speed_mps=cruise,
+        target_actor_id=target.actor_id,
+        target_kind=ActorKind.VEHICLE,
+        duration_s=35.0,
+        metadata={"initial_gap_m": start_gap, "tv_speed_mps": tv_speed},
+    )
+
+
+def _build_ds2(variation: ScenarioVariation) -> DrivingScenario:
+    """DS-2: a pedestrian illegally crosses the street ahead of the EV."""
+    road = Road()
+    cruise = kph_to_mps(_DEFAULT_CRUISE_KPH) * variation.ego_speed_scale
+    ego = _make_ego(speed_mps=cruise)
+    crossing_x = 85.0 + variation.lead_gap_offset_m
+    walk_speed = 1.4 * variation.pedestrian_speed_scale
+    start_y, end_y = -6.0, 6.0
+    route = WaypointRoute(
+        [
+            Waypoint(position=Vec2(crossing_x, start_y), speed_mps=0.0,
+                     hold_s=variation.pedestrian_delay_s),
+            Waypoint(position=Vec2(crossing_x, end_y), speed_mps=walk_speed),
+        ]
+    )
+    pedestrian = ScriptedActor(ActorKind.PEDESTRIAN, route, name="crossing-pedestrian")
+    world = World(ego=ego, actors=[pedestrian], road=road)
+    return DrivingScenario(
+        scenario_id="DS-2",
+        description="A pedestrian illegally crosses the street in front of the EV",
+        world=world,
+        road=road,
+        cruise_speed_mps=cruise,
+        target_actor_id=pedestrian.actor_id,
+        target_kind=ActorKind.PEDESTRIAN,
+        duration_s=25.0,
+        metadata={"crossing_x_m": crossing_x, "walk_speed_mps": walk_speed},
+    )
+
+
+def _build_ds3(variation: ScenarioVariation) -> DrivingScenario:
+    """DS-3: a target vehicle is parked in the parking lane."""
+    road = Road()
+    cruise = kph_to_mps(_DEFAULT_CRUISE_KPH) * variation.ego_speed_scale
+    ego = _make_ego(speed_mps=cruise)
+    parked_x = 110.0 + variation.lead_gap_offset_m
+    parked_y = road.lane("parking").center_y
+    parked = ScriptedActor(
+        ActorKind.VEHICLE,
+        WaypointRoute.stationary(Vec2(parked_x, parked_y)),
+        ActorDimensions.sedan(),
+        name="parked-vehicle",
+    )
+    world = World(ego=ego, actors=[parked], road=road)
+    return DrivingScenario(
+        scenario_id="DS-3",
+        description="A target vehicle is parked on the side of the street in the parking lane",
+        world=world,
+        road=road,
+        cruise_speed_mps=cruise,
+        target_actor_id=parked.actor_id,
+        target_kind=ActorKind.VEHICLE,
+        duration_s=20.0,
+        metadata={"parked_x_m": parked_x},
+    )
+
+
+def _build_ds4(variation: ScenarioVariation) -> DrivingScenario:
+    """DS-4: a pedestrian walks towards the EV in the parking lane, then stops."""
+    road = Road()
+    cruise = kph_to_mps(_DEFAULT_CRUISE_KPH) * variation.ego_speed_scale
+    ego = _make_ego(speed_mps=cruise)
+    walk_speed = 1.4 * variation.pedestrian_speed_scale
+    ped_start_x = 120.0 + variation.lead_gap_offset_m
+    ped_y = road.lane("parking").center_y + 0.8
+    route = WaypointRoute(
+        [
+            Waypoint(position=Vec2(ped_start_x, ped_y), speed_mps=0.0,
+                     hold_s=variation.pedestrian_delay_s),
+            Waypoint(position=Vec2(ped_start_x - 5.0, ped_y), speed_mps=walk_speed,
+                     hold_s=1e6),
+        ]
+    )
+    pedestrian = ScriptedActor(ActorKind.PEDESTRIAN, route, name="walking-pedestrian")
+    world = World(ego=ego, actors=[pedestrian], road=road)
+    return DrivingScenario(
+        scenario_id="DS-4",
+        description=(
+            "A pedestrian walks longitudinally towards the EV in the parking lane "
+            "for 5 m and then stands still"
+        ),
+        world=world,
+        road=road,
+        cruise_speed_mps=cruise,
+        target_actor_id=pedestrian.actor_id,
+        target_kind=ActorKind.PEDESTRIAN,
+        duration_s=20.0,
+        metadata={"ped_start_x_m": ped_start_x},
+    )
+
+
+def _build_ds5(variation: ScenarioVariation) -> DrivingScenario:
+    """DS-5: the EV follows a target vehicle among other random-traffic vehicles."""
+    road = Road()
+    rng = np.random.default_rng(variation.npc_seed)
+    cruise = kph_to_mps(_DEFAULT_CRUISE_KPH) * variation.ego_speed_scale
+    ego = _make_ego(speed_mps=cruise)
+    tv_speed = max(1.0, kph_to_mps(25.0) + variation.lead_speed_offset_mps)
+    start_gap = 60.0 + variation.lead_gap_offset_m
+    tv_start = Vec2(_EGO_START_X + start_gap, 0.0)
+    target = ScriptedActor(
+        ActorKind.VEHICLE,
+        WaypointRoute.straight_line(tv_start, Vec2(tv_start.x + 1500.0, 0.0), tv_speed),
+        ActorDimensions.suv(),
+        name="target-vehicle",
+    )
+    actors: List[ScriptedActor] = [target]
+    opposite_y = road.lane("opposite").center_y
+    n_npcs = int(rng.integers(2, 5))
+    for npc_index in range(n_npcs):
+        npc_speed = float(rng.uniform(kph_to_mps(20.0), kph_to_mps(50.0)))
+        npc_start_x = float(rng.uniform(80.0, 400.0))
+        # Oncoming traffic in the opposite lane drives towards the EV.
+        npc_route = WaypointRoute.straight_line(
+            start=Vec2(npc_start_x, opposite_y),
+            end=Vec2(npc_start_x - 1500.0, opposite_y),
+            speed_mps=npc_speed,
+        )
+        actors.append(
+            ScriptedActor(ActorKind.VEHICLE, npc_route, name=f"npc-vehicle-{npc_index}")
+        )
+    # Background traffic in the ego lane far ahead of the target vehicle and
+    # behind the EV (paper: "as well as in front or behind").  These actors
+    # rarely interact with the EV but are legitimate targets for the random
+    # baseline attack.
+    far_ahead_speed = kph_to_mps(40.0)
+    actors.append(
+        ScriptedActor(
+            ActorKind.VEHICLE,
+            WaypointRoute.straight_line(
+                Vec2(tv_start.x + 220.0, 0.0), Vec2(tv_start.x + 1700.0, 0.0), far_ahead_speed
+            ),
+            name="npc-vehicle-far-ahead",
+        )
+    )
+    actors.append(
+        ScriptedActor(
+            ActorKind.VEHICLE,
+            WaypointRoute.straight_line(
+                Vec2(_EGO_START_X - 40.0, 0.0), Vec2(_EGO_START_X + 1400.0, 0.0), kph_to_mps(20.0)
+            ),
+            name="npc-vehicle-behind",
+        )
+    )
+    world = World(ego=ego, actors=actors, road=road)
+    return DrivingScenario(
+        scenario_id="DS-5",
+        description="EV follows a target vehicle among other vehicles with random trajectories",
+        world=world,
+        road=road,
+        cruise_speed_mps=cruise,
+        target_actor_id=target.actor_id,
+        target_kind=ActorKind.VEHICLE,
+        duration_s=35.0,
+        metadata={"n_npcs": float(n_npcs), "initial_gap_m": start_gap},
+    )
+
+
+_BUILDERS: Dict[str, Callable[[ScenarioVariation], DrivingScenario]] = {
+    "DS-1": _build_ds1,
+    "DS-2": _build_ds2,
+    "DS-3": _build_ds3,
+    "DS-4": _build_ds4,
+    "DS-5": _build_ds5,
+}
+
+
+def list_scenario_ids() -> List[str]:
+    """The identifiers of all available driving scenarios."""
+    return sorted(_BUILDERS)
+
+
+def build_scenario(
+    scenario_id: str, variation: ScenarioVariation | None = None
+) -> DrivingScenario:
+    """Instantiate a driving scenario by id with the given variation."""
+    if scenario_id not in _BUILDERS:
+        raise KeyError(
+            f"unknown scenario {scenario_id!r}; available: {list_scenario_ids()}"
+        )
+    variation = variation or ScenarioVariation.nominal()
+    return _BUILDERS[scenario_id](variation)

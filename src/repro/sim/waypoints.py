@@ -1,0 +1,130 @@
+"""Waypoint routes for scripted actors.
+
+LGSVL scenarios are defined by actor waypoints (position + speed); the same
+abstraction drives the scripted (non-ego) actors here.  A route is a polyline
+of waypoints; the actor travels along it at the per-segment speed, optionally
+pausing at waypoints with a ``hold_s`` duration (used by DS-4's pedestrian who
+walks and then stands still).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.geometry import Vec2
+
+__all__ = ["Waypoint", "WaypointRoute"]
+
+
+@dataclass(frozen=True)
+class Waypoint:
+    """A single waypoint: a position, the speed towards it, and an optional hold."""
+
+    position: Vec2
+    speed_mps: float
+    hold_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.speed_mps < 0:
+            raise ValueError("waypoint speed must be non-negative")
+        if self.hold_s < 0:
+            raise ValueError("waypoint hold time must be non-negative")
+
+
+class WaypointRoute:
+    """Moves an actor along a polyline of waypoints.
+
+    The actor starts at the first waypoint.  For each subsequent waypoint the
+    actor moves in a straight line at that waypoint's speed, then waits for the
+    waypoint's hold time before continuing.  After the last waypoint the actor
+    remains stationary at its final position.
+    """
+
+    def __init__(self, waypoints: Sequence[Waypoint]):
+        if len(waypoints) < 1:
+            raise ValueError("a route needs at least one waypoint")
+        self.waypoints: List[Waypoint] = list(waypoints)
+        self._segment_index = 0
+        self._position = self.waypoints[0].position
+        self._velocity = Vec2.zero()
+        self._hold_remaining_s = self.waypoints[0].hold_s
+        # An actor that starts moving immediately (no initial hold) already has
+        # its cruising velocity at t=0, matching how LGSVL scenarios spawn
+        # actors at speed.
+        if self._hold_remaining_s <= 0.0 and len(self.waypoints) > 1:
+            first_target = self.waypoints[1]
+            direction = (first_target.position - self._position).normalized()
+            self._velocity = direction * first_target.speed_mps
+
+    @property
+    def position(self) -> Vec2:
+        """Current position of the actor on the route."""
+        return self._position
+
+    @property
+    def velocity(self) -> Vec2:
+        """Current velocity of the actor on the route."""
+        return self._velocity
+
+    @property
+    def finished(self) -> bool:
+        """Whether the actor has reached the final waypoint."""
+        return self._segment_index >= len(self.waypoints) - 1 and self._hold_remaining_s <= 0.0
+
+    def advance(self, dt: float) -> None:
+        """Advance the actor along the route by ``dt`` seconds."""
+        if dt < 0:
+            raise ValueError("dt must be non-negative")
+        remaining = dt
+        while remaining > 1e-12:
+            if self._hold_remaining_s > 0.0:
+                waited = min(self._hold_remaining_s, remaining)
+                self._hold_remaining_s -= waited
+                remaining -= waited
+                self._velocity = Vec2.zero()
+                continue
+            if self._segment_index >= len(self.waypoints) - 1:
+                self._velocity = Vec2.zero()
+                return
+            target = self.waypoints[self._segment_index + 1]
+            to_target = target.position - self._position
+            distance = to_target.norm()
+            speed = target.speed_mps
+            if speed <= 0.0 or distance <= 1e-9:
+                # Zero-speed segment: snap to the target and continue.
+                self._position = target.position
+                self._segment_index += 1
+                self._hold_remaining_s = target.hold_s
+                self._velocity = Vec2.zero()
+                continue
+            time_to_target = distance / speed
+            direction = to_target.normalized()
+            self._velocity = direction * speed
+            if time_to_target <= remaining:
+                self._position = target.position
+                remaining -= time_to_target
+                self._segment_index += 1
+                self._hold_remaining_s = target.hold_s
+            else:
+                self._position = self._position + direction * (speed * remaining)
+                remaining = 0.0
+        if self.finished:
+            self._velocity = Vec2.zero()
+
+    @staticmethod
+    def stationary(position: Vec2) -> "WaypointRoute":
+        """A route that stays at ``position`` forever (e.g. a parked vehicle)."""
+        return WaypointRoute([Waypoint(position=position, speed_mps=0.0)])
+
+    @staticmethod
+    def straight_line(
+        start: Vec2, end: Vec2, speed_mps: float, hold_at_end_s: float = 0.0
+    ) -> "WaypointRoute":
+        """A two-waypoint straight route from ``start`` to ``end``."""
+        return WaypointRoute(
+            [
+                Waypoint(position=start, speed_mps=0.0),
+                Waypoint(position=end, speed_mps=speed_mps, hold_s=hold_at_end_s),
+            ]
+        )

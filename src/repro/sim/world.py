@@ -1,0 +1,94 @@
+"""Ground-truth world state container.
+
+The :class:`World` owns the ego vehicle and all scripted actors, advances them
+each simulation step, and produces immutable ground-truth snapshots consumed by
+the sensor models and by the safety/metrics monitors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.sim.actors import ActorKind, ActorSnapshot, EgoVehicle, ScriptedActor
+from repro.sim.road import Road
+
+__all__ = ["GroundTruthSnapshot", "World"]
+
+
+@dataclass(frozen=True)
+class GroundTruthSnapshot:
+    """Immutable ground-truth view of the world at one simulation step."""
+
+    time_s: float
+    step_index: int
+    ego: ActorSnapshot
+    actors: tuple[ActorSnapshot, ...]
+
+    def actor_by_id(self, actor_id: int) -> Optional[ActorSnapshot]:
+        """Find a non-ego actor by id, or ``None`` if it is not present."""
+        for actor in self.actors:
+            if actor.actor_id == actor_id:
+                return actor
+        return None
+
+    def actors_ahead_of_ego(self) -> List[ActorSnapshot]:
+        """Non-ego actors that are longitudinally ahead of the ego front bumper."""
+        ego_front = self.ego.position.x + self.ego.dimensions.length_m / 2.0
+        return [a for a in self.actors if a.position.x > ego_front]
+
+    def nearest_in_path_actor(self, road: Road, lateral_margin: float = 0.2) -> Optional[ActorSnapshot]:
+        """The closest actor ahead whose footprint overlaps the ego lane."""
+        candidates = [
+            a
+            for a in self.actors_ahead_of_ego()
+            if road.in_ego_lane(a.position.y, margin=lateral_margin + a.dimensions.width_m / 2.0)
+        ]
+        if not candidates:
+            return None
+        return min(candidates, key=lambda a: a.position.x)
+
+
+class World:
+    """The mutable simulation world: one ego vehicle plus scripted actors."""
+
+    def __init__(self, ego: EgoVehicle, actors: Sequence[ScriptedActor], road: Road | None = None):
+        self.ego = ego
+        self.actors: List[ScriptedActor] = list(actors)
+        self.road = road or Road()
+        self.time_s = 0.0
+        self.step_index = 0
+
+    def step(self, dt: float, ego_acceleration_mps2: float) -> None:
+        """Advance the world by one time step."""
+        if dt <= 0:
+            raise ValueError("dt must be positive")
+        self.ego.apply_control(ego_acceleration_mps2, dt)
+        for actor in self.actors:
+            actor.step(dt)
+        self.time_s += dt
+        self.step_index += 1
+
+    def snapshot(self) -> GroundTruthSnapshot:
+        """Capture the current ground-truth state."""
+        return GroundTruthSnapshot(
+            time_s=self.time_s,
+            step_index=self.step_index,
+            ego=self.ego.snapshot(),
+            actors=tuple(actor.snapshot() for actor in self.actors),
+        )
+
+    def actor_by_id(self, actor_id: int) -> Optional[ScriptedActor]:
+        """Look up a scripted actor by id."""
+        for actor in self.actors:
+            if actor.actor_id == actor_id:
+                return actor
+        return None
+
+    def pedestrians(self) -> List[ScriptedActor]:
+        """All scripted pedestrians."""
+        return [a for a in self.actors if a.kind is ActorKind.PEDESTRIAN]
+
+    def vehicles(self) -> List[ScriptedActor]:
+        """All scripted (non-ego) vehicles."""
+        return [a for a in self.actors if a.kind is ActorKind.VEHICLE]

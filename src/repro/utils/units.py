@@ -1,0 +1,22 @@
+"""Unit conversion helpers.
+
+All internal quantities are SI (metres, seconds, m/s, m/s^2).  The driving
+scenarios in the paper quote speeds in km/h (e.g. the 45 kph cruise speed on
+Borregas Avenue), so scenario builders convert at the boundary.
+"""
+
+from __future__ import annotations
+
+__all__ = ["kph_to_mps", "mps_to_kph"]
+
+_KPH_PER_MPS = 3.6
+
+
+def kph_to_mps(kph: float) -> float:
+    """Convert kilometres-per-hour to metres-per-second."""
+    return kph / _KPH_PER_MPS
+
+
+def mps_to_kph(mps: float) -> float:
+    """Convert metres-per-second to kilometres-per-hour."""
+    return mps * _KPH_PER_MPS

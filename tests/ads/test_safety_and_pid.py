@@ -1,0 +1,121 @@
+"""Tests for the safety model and the PID / actuation smoothing."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ads.pid import ActuationSmoother, PIDController
+from repro.ads.safety import SafetyModel
+
+
+class TestSafetyModel:
+    def test_stopping_distance_formula(self):
+        model = SafetyModel(comfortable_decel_mps2=3.0, reaction_time_s=0.0)
+        assert model.stopping_distance(12.0) == pytest.approx(12.0**2 / 6.0)
+
+    def test_stopping_distance_zero_at_standstill(self):
+        assert SafetyModel().stopping_distance(0.0) == 0.0
+
+    def test_reaction_time_adds_distance(self):
+        base = SafetyModel(reaction_time_s=0.0).stopping_distance(10.0)
+        with_reaction = SafetyModel(reaction_time_s=0.5).stopping_distance(10.0)
+        assert with_reaction == pytest.approx(base + 5.0)
+
+    def test_safety_potential_definition(self):
+        model = SafetyModel(comfortable_decel_mps2=3.0, reaction_time_s=0.0)
+        assert model.safety_potential(gap_m=30.0, speed_mps=12.0) == pytest.approx(30.0 - 24.0)
+
+    def test_is_safe_uses_four_meter_threshold(self):
+        model = SafetyModel(comfortable_decel_mps2=3.0, reaction_time_s=0.0)
+        assert model.is_safe(gap_m=30.0, speed_mps=10.0)  # delta = 13.3
+        assert not model.is_safe(gap_m=20.0, speed_mps=10.0)  # delta = 3.3
+
+    def test_negative_speed_treated_as_zero(self):
+        assert SafetyModel().stopping_distance(-5.0) == 0.0
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            SafetyModel(comfortable_decel_mps2=0.0)
+        with pytest.raises(ValueError):
+            SafetyModel(reaction_time_s=-1.0)
+
+    @given(st.floats(0.0, 40.0), st.floats(0.0, 40.0))
+    @settings(max_examples=50, deadline=None)
+    def test_delta_monotone_in_gap_and_antimonotone_in_speed(self, speed, gap):
+        model = SafetyModel()
+        assert model.safety_potential(gap + 1.0, speed) > model.safety_potential(gap, speed)
+        assert model.safety_potential(gap, speed + 1.0) <= model.safety_potential(gap, speed)
+
+
+class TestPIDController:
+    def test_proportional_action(self):
+        pid = PIDController(kp=2.0)
+        assert pid.update(error=1.5, dt=0.1) == pytest.approx(3.0)
+
+    def test_integral_accumulates(self):
+        pid = PIDController(kp=0.0, ki=1.0)
+        pid.update(1.0, dt=1.0)
+        assert pid.update(1.0, dt=1.0) == pytest.approx(2.0)
+
+    def test_derivative_responds_to_change(self):
+        pid = PIDController(kp=0.0, kd=1.0)
+        pid.update(0.0, dt=1.0)
+        assert pid.update(2.0, dt=1.0) == pytest.approx(2.0)
+
+    def test_output_clamped(self):
+        pid = PIDController(kp=10.0, output_min=-1.0, output_max=1.0)
+        assert pid.update(5.0, dt=0.1) == 1.0
+        assert pid.update(-5.0, dt=0.1) == -1.0
+
+    def test_anti_windup_freezes_integral_when_saturated(self):
+        pid = PIDController(kp=0.0, ki=1.0, output_max=1.0)
+        for _ in range(50):
+            pid.update(10.0, dt=1.0)
+        # After saturation the integral must not have grown unboundedly: a
+        # small negative error should bring the output off the limit quickly.
+        out = pid.update(-2.0, dt=1.0)
+        assert out < 1.0
+
+    def test_reset_clears_state(self):
+        pid = PIDController(kp=1.0, ki=1.0, kd=1.0)
+        pid.update(3.0, dt=1.0)
+        pid.reset()
+        assert pid.update(0.0, dt=1.0) == 0.0
+
+    def test_invalid_dt_rejected(self):
+        with pytest.raises(ValueError):
+            PIDController(kp=1.0).update(1.0, dt=0.0)
+
+    def test_invalid_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            PIDController(kp=1.0, output_min=1.0, output_max=-1.0)
+
+
+class TestActuationSmoother:
+    def test_comfortable_jerk_limit(self):
+        smoother = ActuationSmoother(comfort_jerk_mps3=3.0)
+        out = smoother.smooth(desired_accel=2.0, dt=0.1, emergency=False)
+        assert out == pytest.approx(0.3)
+
+    def test_emergency_reaches_full_braking_quickly(self):
+        smoother = ActuationSmoother(emergency_jerk_mps3=40.0)
+        out = smoother.smooth(desired_accel=-6.0, dt=0.1, emergency=True)
+        assert out == pytest.approx(-4.0)
+        out = smoother.smooth(desired_accel=-6.0, dt=0.1, emergency=True)
+        assert out == pytest.approx(-6.0)
+
+    def test_converges_to_constant_command(self):
+        smoother = ActuationSmoother()
+        for _ in range(40):
+            out = smoother.smooth(1.0, dt=1 / 15, emergency=False)
+        assert out == pytest.approx(1.0)
+
+    def test_reset(self):
+        smoother = ActuationSmoother()
+        smoother.smooth(2.0, dt=0.1, emergency=False)
+        smoother.reset()
+        assert smoother.smooth(0.0, dt=0.1, emergency=False) == 0.0
+
+    def test_invalid_dt_rejected(self):
+        with pytest.raises(ValueError):
+            ActuationSmoother().smooth(1.0, dt=0.0, emergency=False)

@@ -1,0 +1,50 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.ads.agent import AdsAgent
+from repro.ads.planning import PlannerConfig
+from repro.sim.road import Road
+from repro.sim.scenarios import ScenarioVariation, build_scenario
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A deterministic random generator for tests."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def road() -> Road:
+    """The default three-lane road used by every scenario."""
+    return Road()
+
+
+@pytest.fixture
+def nominal_ds1():
+    """DS-1 (car following) with nominal, unrandomized initial conditions."""
+    return build_scenario("DS-1", ScenarioVariation.nominal())
+
+
+@pytest.fixture
+def nominal_ds2():
+    """DS-2 (pedestrian crossing) with nominal initial conditions."""
+    return build_scenario("DS-2", ScenarioVariation.nominal())
+
+
+def make_ads_agent(scenario, seed: int = 1) -> AdsAgent:
+    """Build the victim ADS for a scenario with a fixed seed."""
+    return AdsAgent(
+        road=scenario.road,
+        planner_config=PlannerConfig(cruise_speed_mps=scenario.cruise_speed_mps),
+        rng=np.random.default_rng(seed),
+    )
+
+
+@pytest.fixture
+def ads_factory():
+    """Factory fixture for building seeded ADS agents."""
+    return make_ads_agent

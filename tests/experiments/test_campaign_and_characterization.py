@@ -1,0 +1,215 @@
+"""Tests for the campaign runner, predictor training, and detector characterization.
+
+These tests run real (but short) simulations, so they are the slowest part of
+the unit suite; campaigns are kept to a handful of runs.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.attack_vectors import AttackVector
+from repro.core.safety_hijacker import KinematicSafetyPredictor, NeuralSafetyPredictor
+from repro.core.training import collect_safety_dataset, train_neural_safety_predictor
+from repro.experiments.campaign import (
+    AttackerKind,
+    CampaignConfig,
+    PredictorKind,
+    baseline_random_campaign,
+    get_or_train_predictor,
+    run_campaign,
+    run_single_experiment,
+    standard_campaigns,
+)
+from repro.experiments.characterization import characterize_detector
+from repro.sim.actors import ActorKind
+
+
+class TestCampaignConfig:
+    def test_robotack_requires_vector(self):
+        with pytest.raises(ValueError):
+            CampaignConfig(
+                campaign_id="x", scenario_id="DS-1", attacker=AttackerKind.ROBOTACK, vector=None
+            )
+
+    def test_positive_runs_required(self):
+        with pytest.raises(ValueError):
+            CampaignConfig(
+                campaign_id="x",
+                scenario_id="DS-5",
+                attacker=AttackerKind.RANDOM,
+                n_runs=0,
+            )
+
+    def test_standard_campaigns_cover_paper_table(self):
+        campaigns = standard_campaigns(n_runs=5)
+        assert len(campaigns) == 6
+        scenario_vector_pairs = {(c.scenario_id, c.vector) for c in campaigns}
+        assert ("DS-1", AttackVector.DISAPPEAR) in scenario_vector_pairs
+        assert ("DS-4", AttackVector.MOVE_IN) in scenario_vector_pairs
+
+    def test_baseline_random_campaign_is_ds5(self):
+        config = baseline_random_campaign(n_runs=3)
+        assert config.scenario_id == "DS-5"
+        assert config.attacker is AttackerKind.RANDOM
+
+
+class TestRunSingleExperiment:
+    def test_golden_run_has_no_hazard(self):
+        config = CampaignConfig(
+            campaign_id="golden-ds1",
+            scenario_id="DS-1",
+            attacker=AttackerKind.NONE,
+            n_runs=1,
+            seed=3,
+        )
+        result = run_single_experiment(config, run_index=0)
+        assert not result.attack_launched
+        assert not result.emergency_braking
+        assert not result.collision
+        assert not result.accident
+        assert result.min_true_delta_m > 4.0
+
+    def test_runs_are_reproducible_for_same_seed(self):
+        config = CampaignConfig(
+            campaign_id="repro-ds2",
+            scenario_id="DS-2",
+            attacker=AttackerKind.NONE,
+            n_runs=1,
+            seed=5,
+        )
+        a = run_single_experiment(config, run_index=0)
+        b = run_single_experiment(config, run_index=0)
+        assert a.min_true_delta_m == pytest.approx(b.min_true_delta_m)
+        assert a.seed == b.seed
+
+    def test_different_run_indices_vary_initial_conditions(self):
+        config = CampaignConfig(
+            campaign_id="vary-ds1",
+            scenario_id="DS-1",
+            attacker=AttackerKind.NONE,
+            n_runs=2,
+            seed=5,
+        )
+        a = run_single_experiment(config, run_index=0)
+        b = run_single_experiment(config, run_index=1)
+        assert a.seed != b.seed
+
+    def test_robotack_kinematic_run_records_attack_metadata(self):
+        config = CampaignConfig(
+            campaign_id="ds2-disappear-kin",
+            scenario_id="DS-2",
+            attacker=AttackerKind.ROBOTACK,
+            vector=AttackVector.DISAPPEAR,
+            n_runs=1,
+            seed=9,
+            predictor=PredictorKind.KINEMATIC,
+        )
+        result = run_single_experiment(config, run_index=0)
+        if result.attack_launched:
+            assert result.planned_k_frames > 0
+            assert result.frames_perturbed > 0
+            assert result.vector is AttackVector.DISAPPEAR
+
+
+class TestRunCampaign:
+    def test_campaign_caching(self):
+        config = CampaignConfig(
+            campaign_id="cache-ds1",
+            scenario_id="DS-1",
+            attacker=AttackerKind.NONE,
+            n_runs=2,
+            seed=13,
+        )
+        first = run_campaign(config)
+        second = run_campaign(config)
+        assert first is second
+        uncached = run_campaign(config, use_cache=False)
+        assert uncached is not first
+        assert uncached.n_runs == first.n_runs
+
+    def test_random_campaign_runs_end_to_end(self):
+        config = CampaignConfig(
+            campaign_id="random-ds5-smoke",
+            scenario_id="DS-5",
+            attacker=AttackerKind.RANDOM,
+            n_runs=2,
+            seed=21,
+        )
+        campaign = run_campaign(config, use_cache=False)
+        assert campaign.n_runs == 2
+
+
+class TestPredictorTraining:
+    def test_kinematic_predictor_from_registry(self):
+        predictor = get_or_train_predictor(
+            "DS-1", AttackVector.DISAPPEAR, kind=PredictorKind.KINEMATIC
+        )
+        assert isinstance(predictor, KinematicSafetyPredictor)
+
+    def test_collect_dataset_and_train_small(self):
+        dataset = collect_safety_dataset(
+            scenario_id="DS-2",
+            vector=AttackVector.DISAPPEAR,
+            delta_inject_values=(42.0, 36.0),
+            k_values=(12, 24),
+            seed=17,
+        )
+        assert dataset.n_samples >= 2
+        assert dataset.inputs.shape[1] == 4
+        predictor, result = train_neural_safety_predictor(dataset, epochs=20, seed=17)
+        assert isinstance(predictor, NeuralSafetyPredictor)
+        assert result.history.train_loss[-1] <= result.history.train_loss[0] * 1.5
+
+    def test_dataset_merge(self):
+        dataset = collect_safety_dataset(
+            scenario_id="DS-2",
+            vector=AttackVector.DISAPPEAR,
+            delta_inject_values=(42.0,),
+            k_values=(12,),
+            seed=18,
+        )
+        merged = dataset.merged_with(dataset)
+        assert merged.n_samples == 2 * dataset.n_samples
+
+    def test_merge_different_vectors_rejected(self):
+        dataset = collect_safety_dataset(
+            scenario_id="DS-2",
+            vector=AttackVector.DISAPPEAR,
+            delta_inject_values=(42.0,),
+            k_values=(12,),
+            seed=19,
+        )
+        other = collect_safety_dataset(
+            scenario_id="DS-2",
+            vector=AttackVector.MOVE_OUT,
+            delta_inject_values=(42.0,),
+            k_values=(12,),
+            seed=19,
+        )
+        with pytest.raises(ValueError):
+            dataset.merged_with(other)
+
+
+class TestCharacterization:
+    def test_fig5_report_structure(self):
+        report = characterize_detector(duration_s=25.0, seed=3)
+        assert set(report.per_class) == {ActorKind.VEHICLE, ActorKind.PEDESTRIAN}
+        for characterization in report.per_class.values():
+            assert characterization.n_frames_observed > 0
+            assert characterization.misdetection_burst_fit.rate > 0
+            assert characterization.center_error_x_fit.sigma > 0
+
+    def test_kmax_derived_from_characterization(self):
+        report = characterize_detector(duration_s=25.0, seed=3)
+        assert report.k_max_frames(ActorKind.VEHICLE) >= 1
+        assert report.k_max_frames(ActorKind.PEDESTRIAN) >= 1
+
+    def test_pedestrian_center_noise_wider_than_vehicle(self):
+        report = characterize_detector(duration_s=40.0, seed=4)
+        vehicle = report.per_class[ActorKind.VEHICLE]
+        pedestrian = report.per_class[ActorKind.PEDESTRIAN]
+        assert pedestrian.center_error_x_fit.sigma > vehicle.center_error_x_fit.sigma
+
+    def test_invalid_duration_rejected(self):
+        with pytest.raises(ValueError):
+            characterize_detector(duration_s=0.0)

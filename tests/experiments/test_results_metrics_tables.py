@@ -1,0 +1,210 @@
+"""Tests for result records, metrics aggregation, and the table generators."""
+
+import pytest
+
+from repro.core.attack_vectors import AttackVector
+from repro.experiments.figures import fig6_panels, fig7_panels, fig8_data
+from repro.experiments.metrics import combined_rates, summarize_campaign
+from repro.experiments.results import CampaignResult, RunResult
+from repro.experiments.tables import headline_findings, table1_rows, table2_rows
+from repro.sim.actors import ActorKind
+
+
+def make_run(
+    index=0,
+    vector=AttackVector.DISAPPEAR,
+    target_kind=ActorKind.PEDESTRIAN,
+    eb=False,
+    accident=False,
+    min_delta=15.0,
+    k=20,
+    k_prime=5,
+    predicted=8.0,
+    actual_end=9.0,
+    launched=True,
+):
+    return RunResult(
+        run_index=index,
+        seed=index,
+        scenario_id="DS-2",
+        attacker_kind="robotack",
+        vector=vector,
+        target_kind=target_kind,
+        attack_launched=launched,
+        emergency_braking=eb,
+        collision=False,
+        accident=accident,
+        min_true_delta_m=min_delta,
+        true_delta_at_attack_end_m=actual_end,
+        predicted_delta_m=predicted,
+        planned_k_frames=k,
+        frames_perturbed=k,
+        k_prime_frames=k_prime,
+        delta_at_launch_m=25.0,
+    )
+
+
+def make_campaign(campaign_id="DS-2-Disappear-R", runs=None, vector=AttackVector.DISAPPEAR):
+    campaign = CampaignResult(
+        campaign_id=campaign_id,
+        scenario_id="DS-2",
+        attacker_kind="robotack",
+        vector=vector,
+    )
+    campaign.runs = runs if runs is not None else []
+    return campaign
+
+
+class TestCampaignResult:
+    def test_rates(self):
+        campaign = make_campaign(
+            runs=[
+                make_run(0, eb=True, accident=True, min_delta=2.0),
+                make_run(1, eb=True, accident=False),
+                make_run(2, eb=False, accident=False),
+                make_run(3, eb=False, accident=False, launched=False),
+            ]
+        )
+        assert campaign.n_runs == 4
+        assert campaign.emergency_braking_count == 2
+        assert campaign.accident_count == 1
+        assert campaign.emergency_braking_rate == pytest.approx(0.5)
+        assert campaign.accident_rate == pytest.approx(0.25)
+        assert len(campaign.launched_runs) == 3
+
+    def test_median_k_over_launched_runs_only(self):
+        campaign = make_campaign(
+            runs=[make_run(0, k=10), make_run(1, k=30), make_run(2, k=0, launched=False)]
+        )
+        assert campaign.median_planned_k() == 20.0
+
+    def test_empty_campaign(self):
+        campaign = make_campaign(runs=[])
+        assert campaign.emergency_braking_rate == 0.0
+        assert campaign.median_planned_k() == 0.0
+
+
+class TestMetrics:
+    def test_summarize_campaign_row(self):
+        campaign = make_campaign(runs=[make_run(0, eb=True, accident=True), make_run(1)])
+        summary = summarize_campaign(campaign)
+        assert summary.n_runs == 2
+        assert summary.emergency_braking_rate == pytest.approx(0.5)
+        assert "DS-2" in summary.format_row()
+
+    def test_move_in_row_hides_crash_column(self):
+        campaign = make_campaign(
+            campaign_id="DS-3-Move_In-R", vector=AttackVector.MOVE_IN, runs=[make_run(0, vector=AttackVector.MOVE_IN)]
+        )
+        assert "—" in summarize_campaign(campaign).format_row()
+
+    def test_combined_rates_exclude_move_in_from_crash_rate(self):
+        disappear = make_campaign(runs=[make_run(0, accident=True, eb=True)])
+        move_in = make_campaign(
+            campaign_id="DS-3", vector=AttackVector.MOVE_IN,
+            runs=[make_run(0, vector=AttackVector.MOVE_IN, eb=True, accident=False)],
+        )
+        eb_rate, crash_rate = combined_rates([disappear, move_in])
+        assert eb_rate == pytest.approx(1.0)
+        assert crash_rate == pytest.approx(1.0)  # only the Disappear campaign counts
+
+    def test_combined_rates_empty(self):
+        assert combined_rates([]) == (0.0, 0.0)
+
+
+class TestTable1:
+    def test_has_six_rows(self):
+        assert len(table1_rows()) == 6
+
+    def test_matches_paper_table(self):
+        rows = {(row.trajectory, row.in_ev_lane): set(row.vectors) for row in table1_rows()}
+        assert rows[("Moving In", True)] == set()
+        assert rows[("Moving In", False)] == {"MOVE_OUT", "DISAPPEAR"}
+        assert rows[("Keep", True)] == {"MOVE_OUT", "DISAPPEAR"}
+        assert rows[("Keep", False)] == {"MOVE_IN"}
+        assert rows[("Moving Out", True)] == {"MOVE_IN"}
+        assert rows[("Moving Out", False)] == set()
+
+
+class TestTable2AndHeadlines:
+    def test_table2_rows_shapes(self):
+        campaigns = [
+            make_campaign(runs=[make_run(0, eb=True, accident=True)]),
+            make_campaign(
+                campaign_id="DS-3-Move_In-R",
+                vector=AttackVector.MOVE_IN,
+                runs=[make_run(0, vector=AttackVector.MOVE_IN, eb=True)],
+            ),
+        ]
+        rows = table2_rows(campaigns)
+        assert len(rows) == 2
+        assert rows[0].crash_count == 1
+        assert rows[1].crash_count is None  # Move_In rows have no crash column
+
+    def test_headline_findings_keys_and_ratios(self):
+        robotack = make_campaign(
+            runs=[
+                make_run(0, eb=True, accident=True, target_kind=ActorKind.PEDESTRIAN),
+                make_run(1, eb=True, accident=False, target_kind=ActorKind.VEHICLE),
+            ]
+        )
+        random = make_campaign(campaign_id="DS-5-Baseline-Random", runs=[make_run(0)])
+        random.attacker_kind = "random"
+        findings = headline_findings([robotack], random)
+        assert set(findings) >= {
+            "robotack_eb_rate",
+            "random_eb_rate",
+            "eb_improvement_ratio",
+            "pedestrian_success_rate",
+            "vehicle_success_rate",
+        }
+        assert findings["robotack_eb_rate"] == pytest.approx(1.0)
+        assert findings["pedestrian_success_rate"] == pytest.approx(1.0)
+        assert findings["vehicle_success_rate"] == pytest.approx(0.0)
+        assert findings["eb_improvement_ratio"] == float("inf")
+
+
+class TestFigureGenerators:
+    def test_fig6_pairs_campaigns_by_scenario_and_vector(self):
+        with_sh = make_campaign(runs=[make_run(0, min_delta=3.0), make_run(1, min_delta=5.0)])
+        without_sh = make_campaign(
+            campaign_id="DS-2-Disappear-noSH", runs=[make_run(0, min_delta=9.0), make_run(1, min_delta=12.0)]
+        )
+        without_sh.attacker_kind = "robotack_no_sh"
+        panels = fig6_panels([with_sh], [without_sh])
+        assert len(panels) == 1
+        panel = panels[0]
+        assert panel.with_sh.median < panel.without_sh.median
+        assert panel.median_improvement_m > 0
+
+    def test_fig6_skips_unpaired_campaigns(self):
+        assert fig6_panels([make_campaign()], []) == []
+
+    def test_fig7_groups_by_kind_and_vector(self):
+        campaign = make_campaign(
+            runs=[
+                make_run(0, k_prime=4, target_kind=ActorKind.PEDESTRIAN),
+                make_run(1, k_prime=6, target_kind=ActorKind.PEDESTRIAN),
+                make_run(2, k_prime=18, target_kind=ActorKind.VEHICLE, vector=AttackVector.MOVE_OUT),
+            ]
+        )
+        panels = fig7_panels([campaign])
+        kinds = {panel.target_kind for panel in panels}
+        assert kinds == {ActorKind.PEDESTRIAN, ActorKind.VEHICLE}
+
+    def test_fig8_bins_prediction_errors(self):
+        runs = [
+            make_run(i, predicted=8.0, actual_end=8.0 + i, accident=(i < 3), eb=(i < 3))
+            for i in range(6)
+        ]
+        campaign = make_campaign(runs=runs)
+        data = fig8_data([campaign])
+        assert data.binned_success
+        assert data.mean_absolute_error_m >= 0.0
+        total = sum(count for _, _, count in data.binned_success)
+        assert total == 6
+
+    def test_fig8_with_no_attacked_runs(self):
+        campaign = make_campaign(runs=[make_run(0, launched=False)])
+        data = fig8_data([campaign])
+        assert data.binned_success == []

@@ -1,0 +1,100 @@
+"""Tests for bounding boxes and IoU."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.geometry import BoundingBox, iou
+
+coords = st.floats(-1e4, 1e4, allow_nan=False)
+sizes = st.floats(0.1, 1e3, allow_nan=False)
+
+
+def boxes():
+    return st.builds(BoundingBox, cx=coords, cy=coords, width=sizes, height=sizes)
+
+
+class TestBoundingBoxBasics:
+    def test_corner_accessors(self):
+        box = BoundingBox(cx=10, cy=20, width=4, height=6)
+        assert box.x_min == 8 and box.x_max == 12
+        assert box.y_min == 17 and box.y_max == 23
+
+    def test_area(self):
+        assert BoundingBox(0, 0, 4, 5).area == 20
+
+    def test_negative_dimensions_rejected(self):
+        with pytest.raises(ValueError):
+            BoundingBox(0, 0, -1, 1)
+
+    def test_translated(self):
+        box = BoundingBox(0, 0, 2, 2).translated(3, -4)
+        assert box.center == (3, -4)
+
+    def test_scaled(self):
+        box = BoundingBox(0, 0, 2, 4).scaled(2.0)
+        assert box.width == 4 and box.height == 8
+
+    def test_scaled_negative_rejected(self):
+        with pytest.raises(ValueError):
+            BoundingBox(0, 0, 2, 2).scaled(-1)
+
+    def test_contains_point(self):
+        box = BoundingBox(0, 0, 2, 2)
+        assert box.contains_point(0.5, 0.5)
+        assert not box.contains_point(2.0, 0.0)
+
+    def test_from_corners_round_trip(self):
+        box = BoundingBox.from_corners(1, 2, 5, 10)
+        assert box.cx == 3 and box.cy == 6
+        assert box.width == 4 and box.height == 8
+
+    def test_from_corners_invalid_rejected(self):
+        with pytest.raises(ValueError):
+            BoundingBox.from_corners(5, 0, 1, 1)
+
+
+class TestIoU:
+    def test_identical_boxes_have_iou_one(self):
+        box = BoundingBox(0, 0, 10, 10)
+        assert iou(box, box) == pytest.approx(1.0)
+
+    def test_disjoint_boxes_have_iou_zero(self):
+        assert iou(BoundingBox(0, 0, 2, 2), BoundingBox(10, 10, 2, 2)) == 0.0
+
+    def test_half_overlap(self):
+        a = BoundingBox(0, 0, 2, 2)
+        b = BoundingBox(1, 0, 2, 2)  # overlap area 2, union 6
+        assert iou(a, b) == pytest.approx(1.0 / 3.0)
+
+    def test_contained_box(self):
+        outer = BoundingBox(0, 0, 4, 4)
+        inner = BoundingBox(0, 0, 2, 2)
+        assert iou(outer, inner) == pytest.approx(4.0 / 16.0)
+
+    def test_zero_area_boxes(self):
+        a = BoundingBox(0, 0, 0, 0)
+        assert iou(a, a) == 0.0
+
+    def test_method_and_function_agree(self):
+        a = BoundingBox(0, 0, 3, 3)
+        b = BoundingBox(1, 1, 3, 3)
+        assert a.iou(b) == iou(a, b)
+
+    @given(boxes(), boxes())
+    def test_iou_symmetric_and_bounded(self, a, b):
+        value = iou(a, b)
+        assert 0.0 <= value <= 1.0 + 1e-9
+        assert value == pytest.approx(iou(b, a))
+
+    @given(boxes(), st.floats(-100, 100), st.floats(-100, 100))
+    def test_translation_invariance(self, box, dx, dy):
+        other = box.translated(1.0, 1.0)
+        moved_a = box.translated(dx, dy)
+        moved_b = other.translated(dx, dy)
+        assert iou(box, other) == pytest.approx(iou(moved_a, moved_b), abs=1e-6)
+
+    @given(boxes())
+    def test_intersection_bounded_by_smaller_area(self, box):
+        other = box.translated(box.width / 4, 0.0)
+        assert box.intersection_area(other) <= min(box.area, other.area) + 1e-9

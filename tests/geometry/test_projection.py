@@ -1,0 +1,95 @@
+"""Tests for the camera projection model."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry import CameraIntrinsics, CameraProjection
+
+
+@pytest.fixture
+def projection():
+    return CameraProjection(CameraIntrinsics())
+
+
+class TestIntrinsics:
+    def test_defaults_match_paper_camera(self):
+        intr = CameraIntrinsics()
+        assert intr.image_width == 1920
+        assert intr.image_height == 1080
+
+    def test_invalid_dimensions_rejected(self):
+        with pytest.raises(ValueError):
+            CameraIntrinsics(image_width=0)
+
+    def test_invalid_focal_rejected(self):
+        with pytest.raises(ValueError):
+            CameraIntrinsics(focal_px=-1)
+
+    def test_center_coordinates(self):
+        intr = CameraIntrinsics()
+        assert intr.image_cx == 960
+        assert intr.image_cy == 540
+
+
+class TestProjection:
+    def test_centered_object_projects_to_image_center_column(self, projection):
+        box = projection.project(distance_m=20, lateral_m=0.0, object_width_m=2, object_height_m=1.5)
+        assert box.cx == pytest.approx(projection.intrinsics.image_cx)
+
+    def test_box_shrinks_with_distance(self, projection):
+        near = projection.project(10, 0, 2, 1.5)
+        far = projection.project(40, 0, 2, 1.5)
+        assert near.height > far.height
+        assert near.width > far.width
+
+    def test_left_offset_moves_box_left_in_image(self, projection):
+        # Positive lateral (left in the world) decreases the pixel column.
+        left = projection.project(20, 2.0, 2, 1.5)
+        center = projection.project(20, 0.0, 2, 1.5)
+        assert left.cx < center.cx
+
+    def test_invalid_object_size_rejected(self, projection):
+        with pytest.raises(ValueError):
+            projection.project(20, 0, 0, 1.5)
+
+    def test_distance_round_trip(self, projection):
+        box = projection.project(35, 1.0, 1.9, 1.6)
+        assert projection.inverse_distance(box, 1.6) == pytest.approx(35, rel=1e-6)
+
+    def test_lateral_round_trip(self, projection):
+        box = projection.project(35, -2.5, 1.9, 1.6)
+        distance = projection.inverse_distance(box, 1.6)
+        assert projection.inverse_lateral(box, distance) == pytest.approx(-2.5, rel=1e-6)
+
+    def test_inverse_distance_requires_positive_height(self, projection):
+        box = projection.project(35, 0, 1.9, 1.6)
+        with pytest.raises(ValueError):
+            projection.inverse_distance(box, 0.0)
+
+    def test_pixel_shift_round_trip(self, projection):
+        pixel_shift = projection.lateral_shift_to_pixels(1.5, 30.0)
+        assert projection.pixels_to_lateral_shift(pixel_shift, 30.0) == pytest.approx(1.5)
+
+    def test_field_of_view_excludes_behind_camera(self, projection):
+        assert not projection.in_field_of_view(-5.0, 0.0)
+
+    def test_field_of_view_excludes_extreme_lateral(self, projection):
+        assert not projection.in_field_of_view(5.0, 50.0)
+
+    def test_field_of_view_includes_straight_ahead(self, projection):
+        assert projection.in_field_of_view(50.0, 0.0)
+
+    @given(
+        distance=st.floats(2.0, 100.0),
+        lateral=st.floats(-5.0, 5.0),
+        height=st.floats(0.5, 3.0),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_projection_inversion_property(self, distance, lateral, height):
+        projection = CameraProjection()
+        box = projection.project(distance, lateral, 1.0, height)
+        recovered_distance = projection.inverse_distance(box, height)
+        recovered_lateral = projection.inverse_lateral(box, recovered_distance)
+        assert recovered_distance == pytest.approx(distance, rel=1e-6)
+        assert recovered_lateral == pytest.approx(lateral, rel=1e-5, abs=1e-6)

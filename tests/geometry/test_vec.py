@@ -1,0 +1,82 @@
+"""Tests for the 2-D vector primitive."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.geometry import Vec2
+
+finite = st.floats(-1e6, 1e6, allow_nan=False)
+
+
+class TestArithmetic:
+    def test_addition(self):
+        assert Vec2(1, 2) + Vec2(3, 4) == Vec2(4, 6)
+
+    def test_subtraction(self):
+        assert Vec2(3, 4) - Vec2(1, 2) == Vec2(2, 2)
+
+    def test_scalar_multiplication_both_sides(self):
+        assert Vec2(1, 2) * 3 == Vec2(3, 6)
+        assert 3 * Vec2(1, 2) == Vec2(3, 6)
+
+    def test_division(self):
+        assert Vec2(2, 4) / 2 == Vec2(1, 2)
+
+    def test_division_by_zero_rejected(self):
+        with pytest.raises(ZeroDivisionError):
+            Vec2(1, 1) / 0
+
+    def test_negation(self):
+        assert -Vec2(1, -2) == Vec2(-1, 2)
+
+
+class TestGeometry:
+    def test_norm_pythagorean(self):
+        assert Vec2(3, 4).norm() == 5.0
+
+    def test_distance_is_symmetric(self):
+        a, b = Vec2(0, 0), Vec2(6, 8)
+        assert a.distance_to(b) == b.distance_to(a) == 10.0
+
+    def test_dot_product(self):
+        assert Vec2(1, 2).dot(Vec2(3, 4)) == 11.0
+
+    def test_dot_of_perpendicular_vectors_is_zero(self):
+        assert Vec2(1, 0).dot(Vec2(0, 5)) == 0.0
+
+    def test_normalized_has_unit_length(self):
+        assert Vec2(3, 4).normalized().norm() == pytest.approx(1.0)
+
+    def test_normalized_zero_stays_zero(self):
+        assert Vec2.zero().normalized() == Vec2.zero()
+
+    def test_as_tuple(self):
+        assert Vec2(1.5, -2.5).as_tuple() == (1.5, -2.5)
+
+
+class TestProperties:
+    @given(finite, finite, finite, finite)
+    def test_addition_commutes(self, x1, y1, x2, y2):
+        a, b = Vec2(x1, y1), Vec2(x2, y2)
+        assert (a + b) == (b + a)
+
+    @given(finite, finite)
+    def test_norm_non_negative(self, x, y):
+        assert Vec2(x, y).norm() >= 0.0
+
+    @given(finite, finite, finite, finite)
+    def test_triangle_inequality(self, x1, y1, x2, y2):
+        a, b = Vec2(x1, y1), Vec2(x2, y2)
+        assert (a + b).norm() <= a.norm() + b.norm() + 1e-6
+
+    @given(finite, finite)
+    def test_subtracting_self_gives_zero(self, x, y):
+        v = Vec2(x, y)
+        assert (v - v) == Vec2(0.0, 0.0)
+
+    @given(finite, finite)
+    def test_norm_matches_hypot(self, x, y):
+        assert Vec2(x, y).norm() == pytest.approx(math.hypot(x, y))

@@ -1,0 +1,117 @@
+"""Tests for the neural-network layers."""
+
+import numpy as np
+import pytest
+
+from repro.nn.layers import Dense, Dropout, ReLU
+
+
+class TestDense:
+    def test_output_shape(self, rng):
+        layer = Dense(4, 3, rng=rng)
+        out = layer.forward(np.ones((5, 4)))
+        assert out.shape == (5, 3)
+
+    def test_wrong_input_dimension_rejected(self, rng):
+        layer = Dense(4, 3, rng=rng)
+        with pytest.raises(ValueError):
+            layer.forward(np.ones((5, 2)))
+
+    def test_invalid_dimensions_rejected(self):
+        with pytest.raises(ValueError):
+            Dense(0, 3)
+
+    def test_backward_before_forward_rejected(self, rng):
+        layer = Dense(2, 2, rng=rng)
+        with pytest.raises(RuntimeError):
+            layer.backward(np.ones((1, 2)))
+
+    def test_forward_is_affine(self, rng):
+        layer = Dense(3, 2, rng=rng)
+        x = np.array([[1.0, 2.0, 3.0]])
+        expected = x @ layer.weights + layer.bias
+        np.testing.assert_allclose(layer.forward(x), expected)
+
+    def test_gradient_matches_finite_differences(self, rng):
+        layer = Dense(3, 2, rng=rng)
+        x = rng.normal(size=(4, 3))
+        out = layer.forward(x)
+        grad_out = np.ones_like(out)
+        layer.backward(grad_out)
+        analytic = layer.grad_weights.copy()
+
+        eps = 1e-6
+        numeric = np.zeros_like(layer.weights)
+        for i in range(layer.weights.shape[0]):
+            for j in range(layer.weights.shape[1]):
+                layer.weights[i, j] += eps
+                plus = layer.forward(x).sum()
+                layer.weights[i, j] -= 2 * eps
+                minus = layer.forward(x).sum()
+                layer.weights[i, j] += eps
+                numeric[i, j] = (plus - minus) / (2 * eps)
+        np.testing.assert_allclose(analytic, numeric, atol=1e-4)
+
+    def test_input_gradient_shape(self, rng):
+        layer = Dense(3, 2, rng=rng)
+        out = layer.forward(np.ones((4, 3)))
+        grad_in = layer.backward(np.ones_like(out))
+        assert grad_in.shape == (4, 3)
+
+    def test_parameters_and_gradients_share_keys(self, rng):
+        layer = Dense(3, 2, rng=rng)
+        layer.forward(np.ones((1, 3)))
+        layer.backward(np.ones((1, 2)))
+        assert set(layer.parameters()) == set(layer.gradients())
+
+
+class TestReLU:
+    def test_clips_negative_values(self):
+        relu = ReLU()
+        out = relu.forward(np.array([[-1.0, 0.0, 2.0]]))
+        np.testing.assert_array_equal(out, [[0.0, 0.0, 2.0]])
+
+    def test_backward_masks_gradient(self):
+        relu = ReLU()
+        relu.forward(np.array([[-1.0, 3.0]]))
+        grad = relu.backward(np.array([[5.0, 5.0]]))
+        np.testing.assert_array_equal(grad, [[0.0, 5.0]])
+
+    def test_backward_before_forward_rejected(self):
+        with pytest.raises(RuntimeError):
+            ReLU().backward(np.ones((1, 2)))
+
+
+class TestDropout:
+    def test_inference_mode_is_identity(self, rng):
+        dropout = Dropout(0.5, rng=rng)
+        x = rng.normal(size=(3, 4))
+        np.testing.assert_array_equal(dropout.forward(x, training=False), x)
+
+    def test_training_mode_zeroes_some_activations(self, rng):
+        dropout = Dropout(0.5, rng=rng)
+        x = np.ones((10, 100))
+        out = dropout.forward(x, training=True)
+        assert (out == 0.0).sum() > 0
+
+    def test_training_mode_preserves_expectation(self, rng):
+        dropout = Dropout(0.3, rng=rng)
+        x = np.ones((200, 200))
+        out = dropout.forward(x, training=True)
+        assert out.mean() == pytest.approx(1.0, abs=0.05)
+
+    def test_invalid_rate_rejected(self):
+        with pytest.raises(ValueError):
+            Dropout(1.0)
+
+    def test_zero_rate_is_identity_even_in_training(self, rng):
+        dropout = Dropout(0.0, rng=rng)
+        x = rng.normal(size=(3, 3))
+        np.testing.assert_array_equal(dropout.forward(x, training=True), x)
+
+    def test_backward_uses_same_mask(self, rng):
+        dropout = Dropout(0.5, rng=rng)
+        x = np.ones((5, 20))
+        out = dropout.forward(x, training=True)
+        grad = dropout.backward(np.ones_like(out))
+        np.testing.assert_array_equal((grad == 0.0), (out == 0.0))

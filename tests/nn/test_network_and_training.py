@@ -1,0 +1,149 @@
+"""Tests for the feed-forward network, losses, optimizers, and training loop."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    Adam,
+    FeedForwardNetwork,
+    MeanSquaredError,
+    SGD,
+    train_network,
+    train_validation_split,
+)
+
+
+class TestMeanSquaredError:
+    def test_zero_for_perfect_prediction(self):
+        loss = MeanSquaredError()
+        y = np.array([[1.0], [2.0]])
+        assert loss.forward(y, y) == 0.0
+
+    def test_known_value(self):
+        loss = MeanSquaredError()
+        assert loss.forward(np.array([[2.0]]), np.array([[0.0]])) == pytest.approx(4.0)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            MeanSquaredError().forward(np.ones((2, 1)), np.ones((3, 1)))
+
+    def test_gradient_sign(self):
+        loss = MeanSquaredError()
+        grad = loss.backward(np.array([[2.0]]), np.array([[0.0]]))
+        assert grad[0, 0] > 0
+
+
+class TestFeedForwardNetwork:
+    def test_paper_architecture_layer_sizes(self, rng):
+        network = FeedForwardNetwork.safety_hijacker_architecture(4, rng=rng)
+        dense_layers = network.trainable_layers()
+        sizes = [(layer.in_features, layer.out_features) for layer in dense_layers]
+        assert sizes == [(4, 100), (100, 100), (100, 50), (50, 1)]
+
+    def test_parameter_count_positive(self, rng):
+        network = FeedForwardNetwork.mlp(4, (8, 8), 1, rng=rng)
+        assert network.num_parameters() == 4 * 8 + 8 + 8 * 8 + 8 + 8 * 1 + 1
+
+    def test_predict_shape(self, rng):
+        network = FeedForwardNetwork.mlp(3, (5,), 2, rng=rng)
+        assert network.predict(np.ones((7, 3))).shape == (7, 2)
+
+    def test_empty_layers_rejected(self):
+        with pytest.raises(ValueError):
+            FeedForwardNetwork([])
+
+    def test_get_set_weights_round_trip(self, rng):
+        network = FeedForwardNetwork.mlp(3, (5,), 1, rng=rng)
+        weights = network.get_weights()
+        x = np.ones((2, 3))
+        before = network.predict(x)
+        # Perturb, then restore.
+        for layer in network.trainable_layers():
+            layer.weights += 1.0
+        network.set_weights(weights)
+        np.testing.assert_allclose(network.predict(x), before)
+
+    def test_set_weights_wrong_length_rejected(self, rng):
+        network = FeedForwardNetwork.mlp(3, (5,), 1, rng=rng)
+        with pytest.raises(ValueError):
+            network.set_weights(network.get_weights()[:-1])
+
+    def test_dropout_only_active_in_training(self, rng):
+        network = FeedForwardNetwork.mlp(4, (32, 32), 1, dropout_rate=0.5, rng=rng)
+        x = np.ones((4, 4))
+        inference_a = network.predict(x)
+        inference_b = network.predict(x)
+        np.testing.assert_allclose(inference_a, inference_b)
+
+
+class TestTrainValidationSplit:
+    def test_split_sizes(self, rng):
+        x = np.arange(40, dtype=float).reshape(20, 2)
+        y = np.arange(20, dtype=float).reshape(20, 1)
+        xt, yt, xv, yv = train_validation_split(x, y, train_fraction=0.6, rng=rng)
+        assert xt.shape[0] == 12 and xv.shape[0] == 8
+        assert yt.shape[0] == 12 and yv.shape[0] == 8
+
+    def test_rows_stay_paired(self, rng):
+        x = np.arange(20, dtype=float).reshape(10, 2)
+        y = x.sum(axis=1, keepdims=True)
+        xt, yt, _, _ = train_validation_split(x, y, rng=rng)
+        np.testing.assert_allclose(xt.sum(axis=1, keepdims=True), yt)
+
+    def test_invalid_fraction_rejected(self, rng):
+        with pytest.raises(ValueError):
+            train_validation_split(np.ones((4, 1)), np.ones((4, 1)), train_fraction=1.5, rng=rng)
+
+    def test_mismatched_rows_rejected(self, rng):
+        with pytest.raises(ValueError):
+            train_validation_split(np.ones((4, 1)), np.ones((5, 1)), rng=rng)
+
+
+class TestOptimizers:
+    def test_sgd_reduces_simple_quadratic_loss(self, rng):
+        network = FeedForwardNetwork.mlp(1, (8,), 1, rng=rng)
+        x = np.linspace(-1, 1, 32).reshape(-1, 1)
+        y = 2.0 * x
+        result = train_network(
+            network, x, y, epochs=60, batch_size=8, optimizer=SGD(learning_rate=0.01), rng=rng
+        )
+        assert result.history.train_loss[-1] < result.history.train_loss[0]
+
+    def test_adam_invalid_learning_rate_rejected(self):
+        with pytest.raises(ValueError):
+            Adam(learning_rate=0.0)
+
+    def test_sgd_invalid_momentum_rejected(self):
+        with pytest.raises(ValueError):
+            SGD(momentum=1.5)
+
+
+class TestTrainNetwork:
+    def test_learns_linear_function(self, rng):
+        network = FeedForwardNetwork.mlp(2, (16, 16), 1, rng=rng)
+        x = rng.uniform(-1, 1, size=(200, 2))
+        y = (3.0 * x[:, :1] - 2.0 * x[:, 1:2])
+        result = train_network(network, x, y, epochs=120, batch_size=16, rng=rng)
+        predictions = network.predict(x)
+        mae = np.abs(predictions - y).mean()
+        assert mae < 0.25
+
+    def test_history_lengths_match_epochs(self, rng):
+        network = FeedForwardNetwork.mlp(1, (4,), 1, rng=rng)
+        x = np.ones((10, 1))
+        y = np.ones((10, 1))
+        result = train_network(network, x, y, epochs=5, rng=rng)
+        assert len(result.history.train_loss) == 5
+        assert len(result.history.validation_loss) == 5
+
+    def test_split_counts_reported(self, rng):
+        network = FeedForwardNetwork.mlp(1, (4,), 1, rng=rng)
+        x = np.ones((10, 1))
+        y = np.ones((10, 1))
+        result = train_network(network, x, y, epochs=2, train_fraction=0.6, rng=rng)
+        assert result.n_train_samples + result.n_validation_samples == 10
+
+    def test_invalid_epochs_rejected(self, rng):
+        network = FeedForwardNetwork.mlp(1, (4,), 1, rng=rng)
+        with pytest.raises(ValueError):
+            train_network(network, np.ones((4, 1)), np.ones((4, 1)), epochs=0, rng=rng)

@@ -1,0 +1,285 @@
+"""Tests for camera/LiDAR fusion and the full perception pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.geometry import Vec2
+from repro.perception.fusion import FusionConfig, SensorFusion
+from repro.perception.pipeline import PerceptionConfig, PerceptionSystem
+from repro.perception.transforms import WorldObjectEstimate
+from repro.sensors.camera import CameraSensor
+from repro.sensors.lidar import LidarDetection, LidarScan, LidarSensor
+from repro.sim.actors import ActorKind
+from repro.sim.scenarios import ScenarioVariation, build_scenario
+
+FRAME_DT = 1.0 / 15.0
+
+
+def camera_estimate(distance, lateral, kind=ActorKind.VEHICLE, track_id=1, actor_id=1, v_rel=0.0):
+    return WorldObjectEstimate(
+        track_id=track_id,
+        actor_id=actor_id,
+        kind=kind,
+        distance_m=distance,
+        lateral_m=lateral,
+        relative_longitudinal_velocity_mps=v_rel,
+        relative_longitudinal_acceleration_mps2=0.0,
+        lateral_velocity_mps=0.0,
+        age_frames=5,
+    )
+
+
+def lidar_scan(step, detections):
+    return LidarScan(time_s=step * FRAME_DT, frame_index=step, detections=tuple(detections))
+
+
+def lidar_detection(distance, lateral, kind=ActorKind.VEHICLE, actor_id=1, speed=5.0):
+    return LidarDetection(
+        actor_id=actor_id,
+        kind=kind,
+        relative_position=Vec2(distance, lateral),
+        velocity=Vec2(speed, 0.0),
+    )
+
+
+class TestRegistration:
+    def test_camera_plus_lidar_registers_quickly(self):
+        fusion = SensorFusion()
+        obstacles = []
+        for step in range(4):
+            obstacles = fusion.step(
+                [camera_estimate(30.0, 0.0)],
+                lidar_scan(step, [lidar_detection(30.0, 0.0)]),
+                ego_speed_mps=10.0,
+                frame_dt_s=FRAME_DT,
+            )
+        assert len(obstacles) == 1
+        assert set(obstacles[0].sources) == {"camera", "lidar"}
+
+    def test_camera_only_registration_is_delayed(self):
+        config = FusionConfig(camera_only_registration_frames=8)
+        fusion = SensorFusion(config)
+        for step in range(5):
+            obstacles = fusion.step(
+                [camera_estimate(50.0, 0.0, kind=ActorKind.PEDESTRIAN)],
+                None,
+                ego_speed_mps=10.0,
+                frame_dt_s=FRAME_DT,
+            )
+        assert obstacles == []
+        for step in range(5, 12):
+            obstacles = fusion.step(
+                [camera_estimate(50.0, 0.0, kind=ActorKind.PEDESTRIAN)],
+                None,
+                ego_speed_mps=10.0,
+                frame_dt_s=FRAME_DT,
+            )
+        assert len(obstacles) == 1
+
+    def test_lidar_only_registration_is_much_slower(self):
+        config = FusionConfig(lidar_only_registration_scans=30)
+        fusion = SensorFusion(config)
+        obstacles = []
+        for step in range(25):
+            obstacles = fusion.step(
+                [], lidar_scan(step, [lidar_detection(25.0, 0.0)]), 10.0, FRAME_DT
+            )
+        assert obstacles == []
+
+
+class TestLateralBlending:
+    def test_fused_lateral_between_camera_and_lidar(self):
+        fusion = SensorFusion(FusionConfig(camera_weight=0.65))
+        for step in range(6):
+            obstacles = fusion.step(
+                [camera_estimate(30.0, 2.0)],
+                lidar_scan(step, [lidar_detection(30.0, 0.0)]),
+                10.0,
+                FRAME_DT,
+            )
+        assert 0.5 < obstacles[0].lateral_m < 2.0
+
+    def test_camera_only_lateral_passes_through(self):
+        fusion = SensorFusion()
+        obstacles = []
+        for step in range(12):
+            obstacles = fusion.step(
+                [camera_estimate(40.0, -2.5, kind=ActorKind.PEDESTRIAN)], None, 10.0, FRAME_DT
+            )
+        assert obstacles[0].lateral_m == pytest.approx(-2.5, abs=0.01)
+
+    def test_distance_is_lidar_dominated(self):
+        fusion = SensorFusion(FusionConfig(camera_distance_weight=0.25))
+        for step in range(6):
+            obstacles = fusion.step(
+                [camera_estimate(26.0, 0.0)],
+                lidar_scan(step, [lidar_detection(30.0, 0.0)]),
+                10.0,
+                FRAME_DT,
+            )
+        assert obstacles[0].distance_m == pytest.approx(29.0, abs=0.3)
+
+
+class TestDropBehaviour:
+    def _register_fused_track(self, fusion):
+        for step in range(6):
+            obstacles = fusion.step(
+                [camera_estimate(25.0, 0.0)],
+                lidar_scan(step, [lidar_detection(25.0, 0.0)]),
+                10.0,
+                FRAME_DT,
+            )
+        assert obstacles
+        return 6
+
+    def test_lidar_backed_obstacle_survives_brief_camera_loss(self):
+        fusion = SensorFusion()
+        step = self._register_fused_track(fusion)
+        for offset in range(5):
+            obstacles = fusion.step(
+                [], lidar_scan(step + offset, [lidar_detection(25.0, 0.0)]), 10.0, FRAME_DT
+            )
+        assert len(obstacles) == 1
+
+    def test_lidar_backed_obstacle_dropped_after_sustained_camera_loss(self):
+        config = FusionConfig(lidar_backed_timeout_frames=12)
+        fusion = SensorFusion(config)
+        step = self._register_fused_track(fusion)
+        for offset in range(config.lidar_backed_timeout_frames + 3):
+            obstacles = fusion.step(
+                [], lidar_scan(step + offset, [lidar_detection(25.0, 0.0)]), 10.0, FRAME_DT
+            )
+        assert obstacles == []
+
+    def test_camera_only_obstacle_dropped_after_timeout(self):
+        config = FusionConfig(camera_only_timeout_frames=10)
+        fusion = SensorFusion(config)
+        for _ in range(12):
+            fusion.step([camera_estimate(40.0, 0.0, kind=ActorKind.PEDESTRIAN)], None, 10.0, FRAME_DT)
+        for _ in range(config.camera_only_timeout_frames + 2):
+            obstacles = fusion.step([], None, 10.0, FRAME_DT)
+        assert obstacles == []
+
+    def test_reset_clears_state(self):
+        fusion = SensorFusion()
+        self._register_fused_track(fusion)
+        fusion.reset()
+        assert fusion.step([], None, 10.0, FRAME_DT) == []
+
+
+class TestAssociation:
+    def test_one_lane_apart_objects_stay_separate(self):
+        fusion = SensorFusion()
+        for step in range(8):
+            obstacles = fusion.step(
+                [camera_estimate(30.0, 0.0, track_id=1, actor_id=1)],
+                lidar_scan(
+                    step,
+                    [
+                        lidar_detection(30.0, 0.0, actor_id=1),
+                        lidar_detection(31.0, 3.5, actor_id=2, speed=-10.0),
+                    ],
+                ),
+                10.0,
+                FRAME_DT,
+            )
+        # The in-lane fused obstacle keeps the in-lane lateral position; the
+        # oncoming vehicle one lane over does not contaminate it.
+        in_lane = [o for o in obstacles if abs(o.lateral_m) < 1.0]
+        assert len(in_lane) == 1
+        assert in_lane[0].longitudinal_speed_mps > 0
+
+    def test_new_camera_track_reassociates_with_existing_object(self):
+        fusion = SensorFusion()
+        for step in range(6):
+            fusion.step(
+                [camera_estimate(30.0, 0.0, track_id=1)],
+                lidar_scan(step, [lidar_detection(30.0, 0.0)]),
+                10.0,
+                FRAME_DT,
+            )
+        # The camera track id changes (e.g. after a misdetection burst); the
+        # evidence must flow into the same fused track instead of duplicating.
+        obstacles = fusion.step(
+            [camera_estimate(30.0, 0.2, track_id=9)],
+            lidar_scan(7, [lidar_detection(30.0, 0.0)]),
+            10.0,
+            FRAME_DT,
+        )
+        assert len(obstacles) == 1
+
+
+class TestFusionConfigValidation:
+    def test_invalid_weight_rejected(self):
+        with pytest.raises(ValueError):
+            FusionConfig(camera_weight=1.5)
+
+    def test_invalid_gate_rejected(self):
+        with pytest.raises(ValueError):
+            FusionConfig(association_gate_m=0.0)
+
+
+class TestPerceptionSystem:
+    def test_full_pipeline_detects_lead_vehicle(self):
+        scenario = build_scenario("DS-1", ScenarioVariation.nominal())
+        camera = CameraSensor()
+        lidar = LidarSensor(rng=np.random.default_rng(0))
+        system = PerceptionSystem(rng=np.random.default_rng(1))
+        output = None
+        for _ in range(8):
+            snapshot = scenario.world.snapshot()
+            output = system.process(camera.capture(snapshot), lidar.scan(snapshot), ego_speed_mps=12.5)
+            scenario.world.step(FRAME_DT, 0.0)
+        assert output.obstacles
+        lead = output.obstacles[0]
+        assert lead.kind is ActorKind.VEHICLE
+        assert lead.distance_m == pytest.approx(58.0, abs=6.0)
+        assert abs(lead.lateral_m) < 1.0
+
+    def test_camera_only_mode_has_no_lidar_fusion(self):
+        config = PerceptionConfig(use_lidar=False)
+        system = PerceptionSystem(config, rng=np.random.default_rng(2))
+        assert system.fusion is None
+        scenario = build_scenario("DS-1", ScenarioVariation.nominal())
+        camera = CameraSensor()
+        output = None
+        for _ in range(6):
+            snapshot = scenario.world.snapshot()
+            output = system.process(camera.capture(snapshot), None, ego_speed_mps=12.5)
+            scenario.world.step(FRAME_DT, 0.0)
+        assert output.obstacles
+        assert output.obstacles[0].sources == ("camera",)
+
+    def test_output_lookup_helpers(self):
+        scenario = build_scenario("DS-1", ScenarioVariation.nominal())
+        system = PerceptionSystem(rng=np.random.default_rng(3))
+        camera = CameraSensor()
+        lidar = LidarSensor(rng=np.random.default_rng(4))
+        target_id = scenario.target_actor_id
+        found = False
+        output = None
+        # Individual frames can fall inside a misdetection burst and obstacle
+        # registration takes a few frames, so look for a frame where both the
+        # camera estimate and the fused obstacle exist.
+        for _ in range(25):
+            snapshot = scenario.world.snapshot()
+            output = system.process(camera.capture(snapshot), lidar.scan(snapshot), 12.5)
+            scenario.world.step(FRAME_DT, 0.0)
+            if (
+                output.estimate_for_actor(target_id) is not None
+                and output.obstacle_for_actor(target_id) is not None
+            ):
+                found = True
+                break
+        assert found
+        assert output.nearest_obstacle() is not None
+        assert output.estimate_for_actor(10**9) is None
+
+    def test_reset_restores_clean_state(self):
+        system = PerceptionSystem(rng=np.random.default_rng(5))
+        scenario = build_scenario("DS-1", ScenarioVariation.nominal())
+        camera = CameraSensor()
+        for _ in range(5):
+            system.process(camera.capture(scenario.world.snapshot()), None, 12.5)
+        system.reset()
+        assert system.tracker.tracks == {}

@@ -1,0 +1,116 @@
+"""Tests for the Hungarian assignment algorithm."""
+
+import itertools
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.perception.hungarian import assignment_total_cost, hungarian_assignment
+
+
+def brute_force_minimum(cost: np.ndarray) -> float:
+    """Reference minimum assignment cost by enumerating permutations."""
+    n_rows, n_cols = cost.shape
+    k = min(n_rows, n_cols)
+    best = float("inf")
+    if n_rows <= n_cols:
+        for cols in itertools.permutations(range(n_cols), k):
+            best = min(best, sum(cost[i, c] for i, c in enumerate(cols)))
+    else:
+        for rows in itertools.permutations(range(n_rows), k):
+            best = min(best, sum(cost[r, j] for j, r in enumerate(rows)))
+    return best
+
+
+class TestHungarianBasics:
+    def test_identity_matrix_prefers_diagonal_zeros(self):
+        cost = 1.0 - np.eye(3)
+        pairs = hungarian_assignment(cost)
+        assert sorted(pairs) == [(0, 0), (1, 1), (2, 2)]
+
+    def test_simple_known_case(self):
+        cost = np.array([[4.0, 1.0, 3.0], [2.0, 0.0, 5.0], [3.0, 2.0, 2.0]])
+        pairs = hungarian_assignment(cost)
+        assert assignment_total_cost(cost, pairs) == pytest.approx(5.0)
+
+    def test_rectangular_more_columns(self):
+        cost = np.array([[10.0, 1.0, 8.0], [7.0, 9.0, 2.0]])
+        pairs = hungarian_assignment(cost)
+        assert len(pairs) == 2
+        assert assignment_total_cost(cost, pairs) == pytest.approx(3.0)
+
+    def test_rectangular_more_rows(self):
+        cost = np.array([[10.0, 1.0], [1.0, 10.0], [5.0, 5.0]])
+        pairs = hungarian_assignment(cost)
+        assert len(pairs) == 2
+        assert assignment_total_cost(cost, pairs) == pytest.approx(2.0)
+
+    def test_empty_matrix(self):
+        assert hungarian_assignment(np.zeros((0, 3))) == []
+        assert hungarian_assignment(np.zeros((3, 0))) == []
+
+    def test_single_element(self):
+        assert hungarian_assignment(np.array([[7.0]])) == [(0, 0)]
+
+    def test_non_2d_rejected(self):
+        with pytest.raises(ValueError):
+            hungarian_assignment(np.zeros(3))
+
+    def test_assignment_is_one_to_one(self):
+        rng = np.random.default_rng(0)
+        cost = rng.random((6, 6))
+        pairs = hungarian_assignment(cost)
+        rows = [r for r, _ in pairs]
+        cols = [c for _, c in pairs]
+        assert len(set(rows)) == len(rows)
+        assert len(set(cols)) == len(cols)
+
+
+class TestHungarianOptimality:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_matches_brute_force_square(self, seed):
+        rng = np.random.default_rng(seed)
+        cost = rng.random((5, 5))
+        pairs = hungarian_assignment(cost)
+        assert assignment_total_cost(cost, pairs) == pytest.approx(brute_force_minimum(cost))
+
+    @pytest.mark.parametrize("shape", [(3, 5), (5, 3), (2, 6), (6, 2)])
+    def test_matches_brute_force_rectangular(self, shape):
+        rng = np.random.default_rng(hash(shape) % 2**32)
+        cost = rng.random(shape)
+        pairs = hungarian_assignment(cost)
+        assert len(pairs) == min(shape)
+        assert assignment_total_cost(cost, pairs) == pytest.approx(brute_force_minimum(cost))
+
+    def test_matches_scipy(self):
+        from scipy.optimize import linear_sum_assignment
+
+        rng = np.random.default_rng(42)
+        for _ in range(10):
+            cost = rng.random((7, 7))
+            ours = assignment_total_cost(cost, hungarian_assignment(cost))
+            rows, cols = linear_sum_assignment(cost)
+            assert ours == pytest.approx(cost[rows, cols].sum())
+
+    @given(
+        st.integers(1, 5),
+        st.integers(1, 5),
+        st.integers(0, 10_000),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_never_worse_than_greedy(self, n_rows, n_cols, seed):
+        rng = np.random.default_rng(seed)
+        cost = rng.random((n_rows, n_cols))
+        pairs = hungarian_assignment(cost)
+        optimal = assignment_total_cost(cost, pairs)
+        # Greedy row-by-row assignment is an upper bound on the optimum.
+        taken = set()
+        greedy = 0.0
+        for row in range(min(n_rows, n_cols)):
+            candidates = [(cost[row, c], c) for c in range(n_cols) if c not in taken]
+            value, col = min(candidates)
+            taken.add(col)
+            greedy += value
+        assert optimal <= greedy + 1e-9

@@ -1,0 +1,122 @@
+"""Tests for the Kalman filters."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry import BoundingBox
+from repro.perception.kalman import BoundingBoxKalmanFilter, KalmanFilter
+
+
+def make_1d_constant_velocity_filter(q=0.01, r=1.0):
+    return KalmanFilter(
+        transition=np.array([[1.0, 1.0], [0.0, 1.0]]),
+        observation=np.array([[1.0, 0.0]]),
+        process_noise=np.eye(2) * q,
+        measurement_noise=np.array([[r]]),
+        initial_state=np.array([0.0, 0.0]),
+        initial_covariance=np.eye(2) * 10.0,
+    )
+
+
+class TestKalmanFilter:
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            KalmanFilter(
+                transition=np.eye(3),
+                observation=np.eye(2),
+                process_noise=np.eye(2),
+                measurement_noise=np.eye(2),
+                initial_state=np.zeros(2),
+                initial_covariance=np.eye(2),
+            )
+
+    def test_tracks_constant_velocity_target(self):
+        kf = make_1d_constant_velocity_filter()
+        rng = np.random.default_rng(0)
+        true_position, true_velocity = 0.0, 2.0
+        for _ in range(60):
+            true_position += true_velocity
+            kf.predict()
+            kf.update(np.array([true_position + rng.normal(0, 1.0)]))
+        assert kf.state[0] == pytest.approx(true_position, abs=2.0)
+        assert kf.state[1] == pytest.approx(true_velocity, abs=0.4)
+
+    def test_update_reduces_position_uncertainty(self):
+        kf = make_1d_constant_velocity_filter()
+        kf.predict()
+        before = kf.covariance[0, 0]
+        kf.update(np.array([0.0]))
+        assert kf.covariance[0, 0] < before
+
+    def test_predict_increases_uncertainty(self):
+        kf = make_1d_constant_velocity_filter()
+        kf.update(np.array([0.0]))
+        after_update = kf.covariance[0, 0]
+        kf.predict()
+        assert kf.covariance[0, 0] > after_update
+
+    def test_filtered_estimate_smoother_than_raw_measurements(self):
+        kf = make_1d_constant_velocity_filter(q=0.001, r=4.0)
+        rng = np.random.default_rng(1)
+        errors_raw, errors_filtered = [], []
+        true_position = 0.0
+        for _ in range(200):
+            true_position += 1.0
+            measurement = true_position + rng.normal(0, 2.0)
+            kf.predict()
+            kf.update(np.array([measurement]))
+            errors_raw.append(abs(measurement - true_position))
+            errors_filtered.append(abs(kf.state[0] - true_position))
+        assert np.mean(errors_filtered[50:]) < np.mean(errors_raw[50:])
+
+    def test_predicted_measurement_matches_observation_model(self):
+        kf = make_1d_constant_velocity_filter()
+        kf.update(np.array([3.0]))
+        assert kf.predicted_measurement()[0] == pytest.approx(kf.state[0])
+
+
+class TestBoundingBoxKalmanFilter:
+    def test_initial_state_matches_first_box(self):
+        box = BoundingBox(100, 50, 40, 30)
+        kf = BoundingBoxKalmanFilter(box)
+        current = kf.current_bbox()
+        assert current.cx == pytest.approx(100)
+        assert current.height == pytest.approx(30)
+
+    def test_tracks_moving_box(self):
+        kf = BoundingBoxKalmanFilter(BoundingBox(100, 50, 40, 30))
+        for step in range(1, 40):
+            kf.predict()
+            kf.update(BoundingBox(100 + 3 * step, 50, 40, 30))
+        vx, vy = kf.velocity_px_per_frame()
+        assert vx == pytest.approx(3.0, abs=0.5)
+        assert abs(vy) < 0.5
+
+    def test_prediction_extrapolates_motion(self):
+        kf = BoundingBoxKalmanFilter(BoundingBox(0, 0, 10, 10))
+        for step in range(1, 30):
+            kf.predict()
+            kf.update(BoundingBox(2.0 * step, 0, 10, 10))
+        predicted = kf.predict()
+        assert predicted.cx > kf.current_bbox().cx - 1e-6
+
+    def test_box_dimensions_never_collapse(self):
+        kf = BoundingBoxKalmanFilter(BoundingBox(0, 0, 5, 5))
+        for _ in range(10):
+            kf.predict()
+            kf.update(BoundingBox(0, 0, 0.5, 0.5))
+        box = kf.current_bbox()
+        assert box.width >= 1.0 and box.height >= 1.0
+
+    @given(st.floats(-3.0, 3.0), st.floats(-3.0, 3.0))
+    @settings(max_examples=25, deadline=None)
+    def test_velocity_estimate_matches_constant_motion(self, vx, vy):
+        kf = BoundingBoxKalmanFilter(BoundingBox(500, 500, 60, 60))
+        for step in range(1, 50):
+            kf.predict()
+            kf.update(BoundingBox(500 + vx * step, 500 + vy * step, 60, 60))
+        estimated_vx, estimated_vy = kf.velocity_px_per_frame()
+        assert estimated_vx == pytest.approx(vx, abs=0.4)
+        assert estimated_vy == pytest.approx(vy, abs=0.4)

@@ -1,0 +1,195 @@
+"""Tests for scenario builders, the world container, and event logging."""
+
+import pytest
+
+from repro.ads.safety import SafetyModel, ground_truth_delta
+from repro.sim.actors import ActorKind
+from repro.sim.events import EventKind, EventLog, SimulationEvent
+from repro.sim.scenarios import ScenarioVariation, build_scenario, list_scenario_ids
+from repro.utils.units import kph_to_mps
+
+
+class TestScenarioRegistry:
+    def test_all_five_scenarios_available(self):
+        assert list_scenario_ids() == ["DS-1", "DS-2", "DS-3", "DS-4", "DS-5"]
+
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(KeyError):
+            build_scenario("DS-9")
+
+    def test_default_variation_is_nominal(self):
+        a = build_scenario("DS-1")
+        b = build_scenario("DS-1", ScenarioVariation.nominal())
+        assert a.metadata == b.metadata
+
+
+class TestDs1:
+    def test_target_is_vehicle_60m_ahead(self):
+        scenario = build_scenario("DS-1", ScenarioVariation.nominal())
+        assert scenario.target_kind is ActorKind.VEHICLE
+        target = scenario.world.actor_by_id(scenario.target_actor_id)
+        assert target.snapshot().position.x == pytest.approx(60.0)
+
+    def test_target_speed_is_25_kph(self):
+        scenario = build_scenario("DS-1", ScenarioVariation.nominal())
+        assert scenario.metadata["tv_speed_mps"] == pytest.approx(kph_to_mps(25.0))
+
+    def test_cruise_speed_is_45_kph(self):
+        scenario = build_scenario("DS-1", ScenarioVariation.nominal())
+        assert scenario.cruise_speed_mps == pytest.approx(kph_to_mps(45.0))
+
+
+class TestDs2:
+    def test_target_is_pedestrian(self):
+        scenario = build_scenario("DS-2", ScenarioVariation.nominal())
+        assert scenario.target_kind is ActorKind.PEDESTRIAN
+
+    def test_pedestrian_starts_off_road(self):
+        scenario = build_scenario("DS-2", ScenarioVariation.nominal())
+        ped = scenario.world.actor_by_id(scenario.target_actor_id)
+        assert abs(ped.snapshot().position.y) > scenario.road.ego_lane.width
+
+    def test_pedestrian_crosses_the_ego_lane(self):
+        scenario = build_scenario("DS-2", ScenarioVariation.nominal())
+        ped = scenario.world.actor_by_id(scenario.target_actor_id)
+        crossed = False
+        for _ in range(int(scenario.duration_s * 15)):
+            ped.step(1.0 / 15.0)
+            if scenario.road.in_ego_lane(ped.snapshot().position.y):
+                crossed = True
+        assert crossed
+
+
+class TestDs3AndDs4:
+    def test_parked_vehicle_in_parking_lane(self):
+        scenario = build_scenario("DS-3", ScenarioVariation.nominal())
+        parked = scenario.world.actor_by_id(scenario.target_actor_id)
+        assert scenario.road.lane_of(parked.snapshot().position.y).name == "parking"
+        assert parked.snapshot().speed == 0.0
+
+    def test_ds4_pedestrian_walks_towards_ev_then_stops(self):
+        scenario = build_scenario("DS-4", ScenarioVariation.nominal())
+        ped = scenario.world.actor_by_id(scenario.target_actor_id)
+        start_x = ped.snapshot().position.x
+        for _ in range(int(15 * 15)):
+            ped.step(1.0 / 15.0)
+        end = ped.snapshot()
+        assert end.position.x == pytest.approx(start_x - 5.0, abs=0.2)
+        assert end.speed == pytest.approx(0.0)
+
+    def test_ds4_pedestrian_stays_out_of_ego_lane(self):
+        scenario = build_scenario("DS-4", ScenarioVariation.nominal())
+        ped = scenario.world.actor_by_id(scenario.target_actor_id)
+        assert not scenario.road.in_ego_lane(ped.snapshot().position.y, margin=0.3)
+
+
+class TestDs5:
+    def test_has_background_traffic(self):
+        scenario = build_scenario("DS-5", ScenarioVariation.nominal())
+        assert len(scenario.world.actors) >= 4
+
+    def test_npc_seed_controls_traffic(self):
+        a = build_scenario("DS-5", ScenarioVariation(npc_seed=1))
+        b = build_scenario("DS-5", ScenarioVariation(npc_seed=1))
+        c = build_scenario("DS-5", ScenarioVariation(npc_seed=999))
+        assert len(a.world.actors) == len(b.world.actors)
+        assert a.metadata["n_npcs"] == b.metadata["n_npcs"]
+        # A different seed may change the number of NPCs or their speeds.
+        assert (a.metadata["n_npcs"] != c.metadata["n_npcs"]) or (
+            len(a.world.actors) == len(c.world.actors)
+        )
+
+
+class TestScenarioVariation:
+    def test_sampled_variation_within_bounds(self, rng):
+        variation = ScenarioVariation.sample(rng)
+        assert 0.9 <= variation.ego_speed_scale <= 1.1
+        assert abs(variation.lead_gap_offset_m) <= 8.0
+
+    def test_variation_changes_initial_gap(self, rng):
+        nominal = build_scenario("DS-1", ScenarioVariation.nominal())
+        varied = build_scenario("DS-1", ScenarioVariation(lead_gap_offset_m=5.0))
+        assert varied.metadata["initial_gap_m"] == pytest.approx(
+            nominal.metadata["initial_gap_m"] + 5.0
+        )
+
+
+class TestWorld:
+    def test_step_advances_time_and_actors(self):
+        scenario = build_scenario("DS-1", ScenarioVariation.nominal())
+        world = scenario.world
+        before = world.snapshot()
+        world.step(1.0 / 15.0, ego_acceleration_mps2=0.0)
+        after = world.snapshot()
+        assert after.time_s > before.time_s
+        assert after.step_index == before.step_index + 1
+        assert after.ego.position.x > before.ego.position.x
+
+    def test_invalid_dt_rejected(self):
+        world = build_scenario("DS-1").world
+        with pytest.raises(ValueError):
+            world.step(0.0, 0.0)
+
+    def test_nearest_in_path_actor(self):
+        scenario = build_scenario("DS-1", ScenarioVariation.nominal())
+        snapshot = scenario.world.snapshot()
+        nearest = snapshot.nearest_in_path_actor(scenario.road)
+        assert nearest is not None
+        assert nearest.actor_id == scenario.target_actor_id
+
+    def test_parked_vehicle_not_in_path(self):
+        scenario = build_scenario("DS-3", ScenarioVariation.nominal())
+        snapshot = scenario.world.snapshot()
+        assert snapshot.nearest_in_path_actor(scenario.road) is None
+
+    def test_actor_lookup(self):
+        scenario = build_scenario("DS-1")
+        assert scenario.world.actor_by_id(scenario.target_actor_id) is not None
+        assert scenario.world.actor_by_id(10**9) is None
+
+    def test_kind_queries(self):
+        scenario = build_scenario("DS-2")
+        assert len(scenario.world.pedestrians()) == 1
+        assert len(scenario.world.vehicles()) == 0
+
+
+class TestGroundTruthDelta:
+    def test_clear_road_gives_infinite_delta(self):
+        scenario = build_scenario("DS-3", ScenarioVariation.nominal())
+        snapshot = scenario.world.snapshot()
+        delta = ground_truth_delta(snapshot, scenario.road, SafetyModel())
+        assert delta == float("inf")
+
+    def test_lead_vehicle_reduces_delta(self):
+        scenario = build_scenario("DS-1", ScenarioVariation.nominal())
+        snapshot = scenario.world.snapshot()
+        delta = ground_truth_delta(
+            snapshot, scenario.road, SafetyModel(), target_actor_id=scenario.target_actor_id
+        )
+        gap = snapshot.ego.longitudinal_gap_to(snapshot.actors[0])
+        assert delta == pytest.approx(gap - SafetyModel().stopping_distance(snapshot.ego.speed))
+
+
+class TestEventLog:
+    def test_record_and_query(self):
+        log = EventLog()
+        log.record(SimulationEvent(EventKind.EMERGENCY_BRAKE, 1.0, 15))
+        assert log.emergency_braking_occurred
+        assert not log.collision_occurred
+        assert log.first_event(EventKind.EMERGENCY_BRAKE).step_index == 15
+
+    def test_attack_start_step(self):
+        log = EventLog()
+        assert log.attack_start_step is None
+        log.record(SimulationEvent(EventKind.ATTACK_STARTED, 2.0, 30))
+        assert log.attack_start_step == 30
+
+    def test_min_true_delta_after(self):
+        log = EventLog()
+        for delta in [10.0, 8.0, 3.0, 6.0]:
+            log.record_step(true_delta=delta, perceived_delta=delta, ego_speed=10.0)
+        assert log.min_true_delta_after(0) == 3.0
+        assert log.min_true_delta_after(3) == 6.0
+
+    def test_min_true_delta_of_empty_trace(self):
+        assert EventLog().min_true_delta_after(0) == float("inf")

@@ -1,0 +1,70 @@
+"""Tests for deterministic random-number management."""
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import SeedSequenceFactory, make_rng, spawn_rngs
+
+
+class TestMakeRng:
+    def test_same_seed_gives_same_stream(self):
+        a = make_rng(7)
+        b = make_rng(7)
+        assert a.random() == b.random()
+
+    def test_different_seeds_give_different_streams(self):
+        assert make_rng(1).random() != make_rng(2).random()
+
+    def test_none_seed_returns_generator(self):
+        assert isinstance(make_rng(None), np.random.Generator)
+
+
+class TestSpawnRngs:
+    def test_returns_requested_count(self):
+        assert len(spawn_rngs(3, 5)) == 5
+
+    def test_zero_count_allowed(self):
+        assert spawn_rngs(3, 0) == []
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(3, -1)
+
+    def test_children_are_independent(self):
+        children = spawn_rngs(42, 2)
+        assert children[0].random() != children[1].random()
+
+    def test_reproducible_across_calls(self):
+        first = [g.random() for g in spawn_rngs(9, 3)]
+        second = [g.random() for g in spawn_rngs(9, 3)]
+        assert first == second
+
+
+class TestSeedSequenceFactory:
+    def test_spawned_counter_increments(self):
+        factory = SeedSequenceFactory(1)
+        factory.next_rng()
+        factory.next_rngs(2)
+        assert factory.spawned == 3
+
+    def test_root_seed_preserved(self):
+        assert SeedSequenceFactory(99).root_seed == 99
+
+    def test_same_root_seed_reproduces_streams(self):
+        a = SeedSequenceFactory(5).next_rng()
+        b = SeedSequenceFactory(5).next_rng()
+        assert a.random() == b.random()
+
+    def test_successive_children_differ(self):
+        factory = SeedSequenceFactory(5)
+        assert factory.next_rng().random() != factory.next_rng().random()
+
+    def test_named_seeds_are_stable_within_factory(self):
+        factory = SeedSequenceFactory(11)
+        seeds_a = factory.named_seeds(["camera", "lidar"])
+        seeds_b = factory.named_seeds(["camera", "lidar"])
+        assert seeds_a == seeds_b
+
+    def test_named_seeds_have_expected_keys(self):
+        factory = SeedSequenceFactory(11)
+        assert set(factory.named_seeds(["a", "b"])) == {"a", "b"}

@@ -1,0 +1,27 @@
+"""Tests for unit conversions."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.utils.units import kph_to_mps, mps_to_kph
+
+
+def test_known_conversion():
+    assert kph_to_mps(36.0) == pytest.approx(10.0)
+    assert mps_to_kph(10.0) == pytest.approx(36.0)
+
+
+def test_paper_cruise_speed():
+    # The EV cruises at 45 kph (paper §V-C).
+    assert kph_to_mps(45.0) == pytest.approx(12.5)
+
+
+def test_zero():
+    assert kph_to_mps(0.0) == 0.0
+    assert mps_to_kph(0.0) == 0.0
+
+
+@given(st.floats(-500, 500))
+def test_round_trip(value):
+    assert mps_to_kph(kph_to_mps(value)) == pytest.approx(value, abs=1e-9)
