@@ -1,0 +1,6 @@
+"""Benchmark harness package.
+
+The ``__init__`` marker makes ``benchmarks`` a proper package so that the
+relative imports in the benchmark modules (``from .conftest import ...``)
+resolve when pytest collects from the repository root.
+"""

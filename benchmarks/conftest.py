@@ -8,6 +8,8 @@ aggregation step and print the reproduced numbers.
 The number of runs per campaign is controlled by the ``REPRO_BENCH_RUNS``
 environment variable (default 10).  The paper uses 130-200 runs per campaign;
 increase the variable for tighter estimates at the cost of runtime.
+``REPRO_BENCH_JOBS`` fans the campaign runs out over worker processes
+(0/1 = serial, -1 = all CPUs); results are identical either way.
 """
 
 from __future__ import annotations
@@ -24,16 +26,18 @@ from repro.experiments.campaign import (
     PredictorKind,
     baseline_random_campaign,
     run_campaign,
+    run_campaigns,
     standard_campaigns,
 )
 from repro.experiments.results import CampaignResult
 
 BENCH_RUNS = int(os.environ.get("REPRO_BENCH_RUNS", "10"))
 BENCH_SEED = int(os.environ.get("REPRO_BENCH_SEED", "2020"))
+BENCH_JOBS = int(os.environ.get("REPRO_BENCH_JOBS", "0"))
 
 
 def _run_all(configs) -> List[CampaignResult]:
-    return [run_campaign(config) for config in configs]
+    return run_campaigns(configs, executor=BENCH_JOBS)
 
 
 @pytest.fixture(scope="session")
@@ -55,7 +59,9 @@ def no_sh_campaigns() -> List[CampaignResult]:
 @pytest.fixture(scope="session")
 def random_baseline_campaign() -> CampaignResult:
     """The DS-5 Baseline-Random campaign of paper Table II."""
-    return run_campaign(baseline_random_campaign(n_runs=BENCH_RUNS, seed=BENCH_SEED))
+    return run_campaign(
+        baseline_random_campaign(n_runs=BENCH_RUNS, seed=BENCH_SEED), executor=BENCH_JOBS
+    )
 
 
 @pytest.fixture(scope="session")
@@ -70,7 +76,7 @@ def kinematic_campaign() -> CampaignResult:
         seed=BENCH_SEED,
         predictor=PredictorKind.KINEMATIC,
     )
-    return run_campaign(config)
+    return run_campaign(config, executor=BENCH_JOBS)
 
 
 @pytest.fixture(scope="session")

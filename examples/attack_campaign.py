@@ -7,9 +7,10 @@ DS-5 random-attack baseline, and prints the resulting table together with the
 §I headline comparisons.
 
 The number of runs per campaign is controlled with ``--runs`` (default 10; the
-paper uses 130-200 per campaign).
+paper uses 130-200 per campaign); ``--jobs N`` fans the runs of each campaign
+out over N worker processes with identical results.
 
-Run with:  python examples/attack_campaign.py --runs 10
+Run with:  python examples/attack_campaign.py --runs 10 --jobs 4
 """
 
 from __future__ import annotations
@@ -23,23 +24,34 @@ from repro.experiments.campaign import (
 )
 from repro.experiments.metrics import summarize_campaign
 from repro.experiments.tables import headline_findings
+from repro.runtime import resolve_executor
 
 
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--runs", type=int, default=10, help="simulation runs per campaign")
     parser.add_argument("--seed", type=int, default=2020, help="root seed for the campaigns")
+    parser.add_argument(
+        "--jobs", type=int, default=0,
+        help="worker processes per campaign (0/1 = serial, -1 = all CPUs)",
+    )
     args = parser.parse_args()
 
     print(f"Running {args.runs} runs per campaign (paper: 130-200). This trains one")
     print("safety-hijacker network per <scenario, vector> pair on the first use.\n")
 
-    robotack_results = []
-    for config in standard_campaigns(n_runs=args.runs, seed=args.seed):
-        print(f"running {config.campaign_id} ...")
-        robotack_results.append(run_campaign(config))
-    print("running DS-5-Baseline-Random ...")
-    random_result = run_campaign(baseline_random_campaign(n_runs=args.runs, seed=args.seed))
+    executor = resolve_executor(args.jobs)
+    try:
+        robotack_results = []
+        for config in standard_campaigns(n_runs=args.runs, seed=args.seed):
+            print(f"running {config.campaign_id} ...")
+            robotack_results.append(run_campaign(config, executor=executor))
+        print("running DS-5-Baseline-Random ...")
+        random_result = run_campaign(
+            baseline_random_campaign(n_runs=args.runs, seed=args.seed), executor=executor
+        )
+    finally:
+        executor.close()
 
     print("\n=== Table II (reproduced) ===")
     for campaign in robotack_results + [random_result]:

@@ -19,18 +19,17 @@ import numpy as np
 from repro.core import AttackVector
 from repro.core.training import collect_safety_dataset, train_neural_safety_predictor
 from repro.experiments.campaign import (
-    _TRAINING_GRIDS,
     AttackerKind,
     CampaignConfig,
-    PredictorKind,
     run_single_experiment,
+    training_grid_for,
 )
-from repro.experiments.campaign import _PREDICTOR_CACHE
+from repro.sim.scenarios import list_scenario_ids
 
 
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--scenario", default="DS-2", choices=sorted(_TRAINING_GRIDS))
+    parser.add_argument("--scenario", default="DS-2", choices=list_scenario_ids())
     parser.add_argument("--vector", default="disappear")
     parser.add_argument("--epochs", type=int, default=200)
     parser.add_argument("--seed", type=int, default=7)
@@ -38,7 +37,7 @@ def main() -> None:
     args = parser.parse_args()
 
     vector = AttackVector.from_string(args.vector)
-    delta_grid, k_grid = _TRAINING_GRIDS[args.scenario]
+    delta_grid, k_grid = training_grid_for(args.scenario)
 
     print(f"collecting attack-response dataset for {args.scenario} / {vector.name} ...")
     dataset = collect_safety_dataset(
@@ -63,9 +62,8 @@ def main() -> None:
     errors = np.abs(predictor.predict_batch(dataset.inputs) - dataset.targets.reshape(-1))
     print(f"mean absolute error on the dataset: {errors.mean():.2f} m")
 
-    # Install the freshly trained oracle in the predictor cache and evaluate it
-    # end-to-end with a few attacked runs.
-    _PREDICTOR_CACHE[(args.scenario, vector, PredictorKind.NEURAL, 7)] = predictor
+    # Evaluate the freshly trained oracle end-to-end: run_single_experiment
+    # accepts the predictor directly, bypassing the trained-artifact cache.
     config = CampaignConfig(
         campaign_id=f"{args.scenario}-{vector.name.title()}-eval",
         scenario_id=args.scenario,
@@ -77,7 +75,7 @@ def main() -> None:
     print(f"\nevaluating the trained oracle on {args.eval_runs} attacked runs ...")
     hazards = 0
     for run_index in range(args.eval_runs):
-        run = run_single_experiment(config, run_index)
+        run = run_single_experiment(config, run_index, predictor=predictor)
         hazard = run.emergency_braking or run.accident
         hazards += hazard
         print(

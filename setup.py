@@ -1,10 +1,27 @@
-"""Setup shim for environments without the ``wheel`` package.
+"""Package metadata and console entry points.
 
-The project metadata lives in ``pyproject.toml``; this file only exists so
-that ``pip install -e . --no-use-pep517`` (the legacy editable-install path,
-which does not require building a wheel) works in offline environments.
+There is no ``pyproject.toml``: metadata lives here so that the legacy
+editable-install path (``pip install -e . --no-use-pep517``, which does not
+need to build a wheel) works in offline environments without the ``wheel``
+package.
 """
 
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="robotack-repro",
+    version="0.2.0",
+    description=(
+        "Reproduction of 'ML-Driven Malware that Targets AV Safety' (DSN 2020): "
+        "simulated AV stack, RoboTack attacker, and a parallel experiment runtime"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    python_requires=">=3.9",
+    install_requires=["numpy>=1.21"],
+    entry_points={
+        "console_scripts": [
+            "repro-campaign=repro.runtime.cli:main",
+        ]
+    },
+)

@@ -80,6 +80,28 @@ class RoboTackConfig:
         default_factory=lambda: PerceptionConfig(use_lidar=False)
     )
 
+    @classmethod
+    def for_detector(
+        cls,
+        allowed_vectors: Sequence[AttackVector],
+        detector_config=None,
+    ) -> "RoboTackConfig":
+        """An attacker configuration consistent with a victim detector model.
+
+        The attack's stealth bounds and the malware's own camera-only
+        reconstruction are by construction derived from the victim detector's
+        noise model; scenarios that override it (degraded sensing) must
+        recalibrate the attacker through this single factory so training-time
+        and evaluation-time attackers can never drift apart.
+        """
+        if detector_config is None:
+            return cls(allowed_vectors=tuple(allowed_vectors))
+        return cls(
+            allowed_vectors=tuple(allowed_vectors),
+            hijacker=TrajectoryHijackerConfig(detector=detector_config),
+            perception=PerceptionConfig(detector=detector_config, use_lidar=False),
+        )
+
 
 class CameraMitmAttackerBase:
     """Shared machinery of RoboTack and its baselines.

@@ -33,6 +33,7 @@ from repro.core.robotack import CameraMitmAttackerBase, RoboTackConfig
 from repro.core.safety_hijacker import AttackFeatures, NeuralSafetyPredictor
 from repro.core.scenario_matcher import ScenarioMatcher
 from repro.nn import Adam, FeedForwardNetwork, TrainingResult, train_network
+from repro.perception.pipeline import PerceptionConfig
 from repro.perception.transforms import WorldObjectEstimate
 from repro.sim.config import SimulationConfig
 from repro.sim.road import Road
@@ -190,16 +191,29 @@ def collect_safety_dataset(
     for delta_inject, k_frames in grid:
         variation = ScenarioVariation.sample(rng)
         scenario = build_scenario(scenario_id, variation)
+        # Degraded-sensing scenarios (e.g. DS-7's fog) must train under the
+        # same detector the campaign evaluates with, or the oracle is
+        # calibrated for clean sensing it will never see.
+        perception_config = (
+            PerceptionConfig(detector=scenario.detector_config)
+            if scenario.detector_config is not None
+            else None
+        )
         ads = AdsAgent(
             road=scenario.road,
             planner_config=PlannerConfig(cruise_speed_mps=scenario.cruise_speed_mps),
+            perception_config=perception_config,
             rng=np.random.default_rng(int(rng.integers(0, 2**31 - 1))),
         )
+        # The attacker's own reconstruction and stealth bounds must track the
+        # scenario's (possibly degraded) detector, exactly as at evaluation time.
+        attacker_config = RoboTackConfig.for_detector((vector,), scenario.detector_config)
         attacker = ScriptedAttacker(
             road=scenario.road,
             vector=vector,
             delta_inject_m=delta_inject,
             k_frames=k_frames,
+            config=attacker_config,
             rng=np.random.default_rng(int(rng.integers(0, 2**31 - 1))),
         )
         simulator = Simulator(

@@ -7,16 +7,23 @@ with randomized initial conditions — mirroring the experimental campaigns of
 paper §VI-C ("a set of simulation runs executed with the same driving scenario
 and attack vector").
 
-Safety-hijacker predictors are trained once per (scenario, vector) pair and
-cached for the lifetime of the process, as are campaign results, so that the
-table and figure benchmarks can share work.
+Every run is seeded from ``SeedSequence([campaign_seed, run_index])`` and
+shares no state with its siblings, so campaigns fan out over the
+:mod:`repro.runtime` executors: ``run_campaign(config, executor=4)`` runs on
+four worker processes and produces *element-wise identical* results to the
+serial path.  Safety-hijacker predictors are trained once per
+(scenario, vector) pair in the parent process and shipped to the workers, and
+both predictors and campaign results live in process-safe
+:class:`~repro.runtime.cache.ArtifactCache` stores (set ``REPRO_CACHE_DIR`` to
+persist them across processes and sessions).
 """
 
 from __future__ import annotations
 
 import enum
+import functools
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -28,10 +35,14 @@ from repro.core.robotack import CameraMitmAttackerBase, RoboTack, RoboTackConfig
 from repro.core.safety_hijacker import (
     KinematicSafetyPredictor,
     SafetyHijacker,
+    SafetyHijackerConfig,
     SafetyPredictor,
 )
 from repro.core.training import collect_safety_dataset, train_neural_safety_predictor
 from repro.experiments.results import CampaignResult, RunResult
+from repro.perception.pipeline import PerceptionConfig
+from repro.sim.actors import ActorKind
+from repro.runtime import ArtifactCache, Executor, ExecutorLike, resolve_executor
 from repro.sim.config import SimulationConfig
 from repro.sim.scenarios import DrivingScenario, ScenarioVariation, build_scenario
 from repro.sim.simulator import SimulationResult, Simulator
@@ -42,7 +53,9 @@ __all__ = [
     "CampaignConfig",
     "run_single_experiment",
     "run_campaign",
+    "run_campaigns",
     "get_or_train_predictor",
+    "training_grid_for",
     "clear_caches",
 ]
 
@@ -71,16 +84,40 @@ _TRAINING_GRIDS: Dict[str, Tuple[Tuple[float, ...], Tuple[int, ...]]] = {
     "DS-3": ((20.0, 15.0, 11.0, 7.0, 3.0, 0.0), (12, 25, 40, 55)),
     "DS-4": ((16.0, 12.0, 9.0, 6.0, 3.0, 0.0), (10, 16, 23, 30)),
     "DS-5": ((28.0, 24.0, 21.0, 18.0, 15.0, 12.0), (30, 42, 50, 58)),
+    # DS-6's cut-in target behaves like the DS-1 lead once it occupies the
+    # ego lane, but the gap is tighter, so the trigger grid sits lower.
+    "DS-6": ((24.0, 21.0, 18.0, 15.0, 12.0, 9.0), (30, 42, 50, 58)),
+    # DS-7's foggy pedestrian crossing: the slower EV and late detections
+    # compress the usable trigger range versus DS-2.
+    "DS-7": ((45.0, 40.0, 35.0, 30.0, 26.0, 22.0), (10, 16, 22, 28)),
 }
 
-_PREDICTOR_CACHE: Dict[Tuple[str, AttackVector, PredictorKind, int], SafetyPredictor] = {}
-_CAMPAIGN_CACHE: Dict[Tuple, CampaignResult] = {}
+#: Fallback grid for scenarios registered by downstream plugins without a
+#: curated grid: a wide trigger sweep with mid-length windows.
+_DEFAULT_TRAINING_GRID: Tuple[Tuple[float, ...], Tuple[int, ...]] = (
+    (40.0, 32.0, 24.0, 18.0, 12.0, 6.0),
+    (12, 24, 36, 48),
+)
+
+_PREDICTOR_CACHE = ArtifactCache("predictors")
+_CAMPAIGN_CACHE = ArtifactCache("campaigns")
 
 
-def clear_caches() -> None:
+def training_grid_for(scenario_id: str) -> Tuple[Tuple[float, ...], Tuple[int, ...]]:
+    """The (delta_inject, k) training grid for a scenario (with a generic fallback)."""
+    return _TRAINING_GRIDS.get(scenario_id, _DEFAULT_TRAINING_GRID)
+
+
+def clear_caches(*, disk: bool = False) -> None:
     """Drop all cached predictors and campaign results (mainly for tests)."""
-    _PREDICTOR_CACHE.clear()
-    _CAMPAIGN_CACHE.clear()
+    _PREDICTOR_CACHE.clear(disk=disk)
+    _CAMPAIGN_CACHE.clear(disk=disk)
+
+
+def set_cache_dir(cache_dir) -> None:
+    """Point both artifact caches at a disk directory (``None`` = env default)."""
+    _PREDICTOR_CACHE.set_directory(cache_dir)
+    _CAMPAIGN_CACHE.set_directory(cache_dir)
 
 
 @dataclass(frozen=True)
@@ -105,6 +142,9 @@ class CampaignConfig:
             raise ValueError("RoboTack campaigns must pin an attack vector")
 
     def cache_key(self) -> Tuple:
+        # Every field that changes the campaign's results belongs here: with
+        # the disk cache enabled, two configs differing only in training
+        # epochs or simulation parameters must never shadow each other.
         return (
             self.campaign_id,
             self.scenario_id,
@@ -113,16 +153,48 @@ class CampaignConfig:
             self.n_runs,
             self.seed,
             self.predictor,
+            self.training_epochs,
+            self.simulation,
         )
 
 
 def build_ads_agent(scenario: DrivingScenario, rng: np.random.Generator) -> AdsAgent:
-    """Construct the victim ADS agent for a scenario."""
+    """Construct the victim ADS agent for a scenario.
+
+    Scenarios that model degraded sensing (e.g. DS-7's fog) carry a detector
+    override, which is threaded into the agent's perception pipeline here.
+    """
+    perception_config = None
+    if scenario.detector_config is not None:
+        perception_config = PerceptionConfig(detector=scenario.detector_config)
     return AdsAgent(
         road=scenario.road,
         planner_config=PlannerConfig(cruise_speed_mps=scenario.cruise_speed_mps),
+        perception_config=perception_config,
         rng=rng,
     )
+
+
+def _train_predictor(
+    scenario_id: str,
+    vector: AttackVector,
+    kind: PredictorKind,
+    seed: int,
+    training_epochs: int,
+) -> SafetyPredictor:
+    if kind is PredictorKind.KINEMATIC:
+        return KinematicSafetyPredictor(vector)
+    delta_grid, k_grid = training_grid_for(scenario_id)
+    dataset = collect_safety_dataset(
+        scenario_id=scenario_id,
+        vector=vector,
+        delta_inject_values=delta_grid,
+        k_values=k_grid,
+        seed=seed,
+        repeats=2,
+    )
+    predictor, _ = train_neural_safety_predictor(dataset, epochs=training_epochs, seed=seed)
+    return predictor
 
 
 def get_or_train_predictor(
@@ -133,45 +205,59 @@ def get_or_train_predictor(
     training_epochs: int = 120,
 ) -> SafetyPredictor:
     """Return the safety-potential oracle for a scenario/vector, training it if needed."""
-    cache_key = (scenario_id, vector, kind, seed)
-    if cache_key in _PREDICTOR_CACHE:
-        return _PREDICTOR_CACHE[cache_key]
-    if kind is PredictorKind.KINEMATIC:
-        predictor: SafetyPredictor = KinematicSafetyPredictor(vector)
-    else:
-        delta_grid, k_grid = _TRAINING_GRIDS[scenario_id]
-        dataset = collect_safety_dataset(
-            scenario_id=scenario_id,
-            vector=vector,
-            delta_inject_values=delta_grid,
-            k_values=k_grid,
-            seed=seed,
-            repeats=2,
-        )
-        predictor, _ = train_neural_safety_predictor(
-            dataset, epochs=training_epochs, seed=seed
-        )
-    _PREDICTOR_CACHE[cache_key] = predictor
-    return predictor
+    # training_epochs is part of the key: with the disk layer enabled, a
+    # predictor trained with different epochs must never shadow this one.
+    cache_key = (scenario_id, vector, kind, seed, training_epochs)
+    return _PREDICTOR_CACHE.get_or_create(
+        cache_key,
+        functools.partial(
+            _train_predictor, scenario_id, vector, kind, seed, training_epochs
+        ),
+    )
+
+
+def _safety_hijacker_for(
+    scenario: DrivingScenario, predictor: SafetyPredictor
+) -> SafetyHijacker:
+    """A safety hijacker whose stealth bound Kmax follows the scenario's detector.
+
+    Kmax is the 99th percentile of the continuous-misdetection bursts; a
+    degraded detector has longer bursts, so the attacker may hide behind a
+    correspondingly longer window without tripping the intrusion detector.
+    """
+    if scenario.detector_config is None:
+        return SafetyHijacker(predictor)
+    detector = scenario.detector_config
+    k_max = {
+        ActorKind.PEDESTRIAN: int(
+            round(detector.pedestrian_noise.misdetection_burst_p99_frames)
+        ),
+        ActorKind.VEHICLE: int(round(detector.vehicle_noise.misdetection_burst_p99_frames)),
+    }
+    return SafetyHijacker(predictor, SafetyHijackerConfig(k_max_frames=k_max))
 
 
 def _build_attacker(
     config: CampaignConfig,
     scenario: DrivingScenario,
     rng: np.random.Generator,
+    predictor: Optional[SafetyPredictor] = None,
 ) -> Optional[CameraMitmAttackerBase]:
     if config.attacker is AttackerKind.NONE:
         return None
     allowed = (config.vector,) if config.vector is not None else tuple(AttackVector)
-    attack_config = RoboTackConfig(allowed_vectors=allowed)
+    # Scenarios with a degraded detector (e.g. DS-7's fog) recalibrate the
+    # attacker's reconstruction and stealth bounds through the shared factory.
+    attack_config = RoboTackConfig.for_detector(allowed, scenario.detector_config)
     if config.attacker is AttackerKind.ROBOTACK:
-        predictor = get_or_train_predictor(
-            config.scenario_id,
-            config.vector,
-            kind=config.predictor,
-            training_epochs=config.training_epochs,
-        )
-        hijacker = SafetyHijacker(predictor)
+        if predictor is None:
+            predictor = get_or_train_predictor(
+                config.scenario_id,
+                config.vector,
+                kind=config.predictor,
+                training_epochs=config.training_epochs,
+            )
+        hijacker = _safety_hijacker_for(scenario, predictor)
         return RoboTack(scenario.road, hijacker, attack_config, rng=rng)
     if config.attacker is AttackerKind.ROBOTACK_NO_SH:
         return RoboTackWithoutSafetyHijacker(scenario.road, attack_config, rng=rng)
@@ -197,14 +283,28 @@ def _true_delta_at_attack_end(
     return float(trace[index])
 
 
-def run_single_experiment(config: CampaignConfig, run_index: int) -> RunResult:
-    """Execute one seeded run of a campaign and summarize it."""
+def run_single_experiment(
+    config: CampaignConfig,
+    run_index: int,
+    predictor: Optional[SafetyPredictor] = None,
+) -> RunResult:
+    """Execute one seeded run of a campaign and summarize it.
+
+    ``predictor`` lets the campaign runner pre-train the safety-potential
+    oracle in the parent process and ship it to worker processes; when omitted
+    (direct calls), the per-process predictor cache is consulted as before.
+    """
     run_seed = int(np.random.SeedSequence([config.seed, run_index]).generate_state(1)[0])
     rng = np.random.default_rng(run_seed)
     variation = ScenarioVariation.sample(rng)
     scenario = build_scenario(config.scenario_id, variation)
     ads = build_ads_agent(scenario, np.random.default_rng(int(rng.integers(0, 2**31 - 1))))
-    attacker = _build_attacker(config, scenario, np.random.default_rng(int(rng.integers(0, 2**31 - 1))))
+    attacker = _build_attacker(
+        config,
+        scenario,
+        np.random.default_rng(int(rng.integers(0, 2**31 - 1))),
+        predictor=predictor,
+    )
     simulator = Simulator(
         scenario,
         ads,
@@ -242,22 +342,79 @@ def run_single_experiment(config: CampaignConfig, run_index: int) -> RunResult:
     )
 
 
-def run_campaign(config: CampaignConfig, use_cache: bool = True) -> CampaignResult:
-    """Execute all runs of a campaign (results are cached per process)."""
+def _prepare_predictor(config: CampaignConfig) -> Optional[SafetyPredictor]:
+    """Train (or fetch) the predictor a RoboTack campaign needs, in-process.
+
+    Doing this *before* fanning runs out guarantees (a) workers never train
+    redundant copies and (b) serial and parallel campaigns use the exact same
+    oracle weights — the invariant behind bit-identical campaign statistics.
+    """
+    if config.attacker is not AttackerKind.ROBOTACK:
+        return None
+    return get_or_train_predictor(
+        config.scenario_id,
+        config.vector,
+        kind=config.predictor,
+        training_epochs=config.training_epochs,
+    )
+
+
+def run_campaign(
+    config: CampaignConfig,
+    use_cache: bool = True,
+    executor: ExecutorLike = None,
+) -> CampaignResult:
+    """Execute all runs of a campaign, optionally fanning out over processes.
+
+    ``executor`` accepts anything :func:`repro.runtime.resolve_executor`
+    understands: ``None`` (serial), a worker count, or an
+    :class:`~repro.runtime.executor.Executor` instance to share a worker pool
+    across campaigns.  Results are cached per process (and on disk when a
+    cache directory is configured).
+    """
     key = config.cache_key()
-    if use_cache and key in _CAMPAIGN_CACHE:
-        return _CAMPAIGN_CACHE[key]
+    if use_cache:
+        cached = _CAMPAIGN_CACHE.get(key)
+        if cached is not None:
+            return cached
+    predictor = _prepare_predictor(config)
+    resolved = resolve_executor(executor)
+    try:
+        runs = resolved.map(
+            functools.partial(run_single_experiment, config, predictor=predictor),
+            range(config.n_runs),
+        )
+    finally:
+        if resolved is not executor:
+            # We created this executor; release its workers even when a run fails.
+            resolved.close()
     campaign = CampaignResult(
         campaign_id=config.campaign_id,
         scenario_id=config.scenario_id,
         attacker_kind=config.attacker.value,
         vector=config.vector,
+        runs=list(runs),
     )
-    for run_index in range(config.n_runs):
-        campaign.runs.append(run_single_experiment(config, run_index))
     if use_cache:
-        _CAMPAIGN_CACHE[key] = campaign
+        _CAMPAIGN_CACHE.put(key, campaign)
     return campaign
+
+
+def run_campaigns(
+    configs: Sequence[CampaignConfig],
+    use_cache: bool = True,
+    executor: ExecutorLike = None,
+) -> List[CampaignResult]:
+    """Execute several campaigns, sharing one executor (and its worker pool)."""
+    resolved = resolve_executor(executor)
+    try:
+        return [
+            run_campaign(config, use_cache=use_cache, executor=resolved)
+            for config in configs
+        ]
+    finally:
+        if resolved is not executor:
+            resolved.close()
 
 
 def standard_campaigns(

@@ -14,13 +14,15 @@ stealth bound ``Kmax`` used by the safety hijacker.
 
 from __future__ import annotations
 
+import functools
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import Dict, List, Sequence
 
 import numpy as np
 
 from repro.geometry import Vec2, iou
 from repro.perception.detection import DetectorConfig, SimulatedDetector
+from repro.runtime import ExecutorLike, resolve_executor
 from repro.sensors.camera import CameraSensor
 from repro.sim.actors import ActorDimensions, ActorKind, EgoVehicle, ScriptedActor
 from repro.sim.road import Road
@@ -28,7 +30,13 @@ from repro.sim.waypoints import WaypointRoute
 from repro.sim.world import World
 from repro.utils.stats import ExponentialFit, NormalFit, fit_exponential, fit_normal, percentile
 
-__all__ = ["ClassCharacterization", "CharacterizationReport", "characterize_detector"]
+__all__ = [
+    "ClassCharacterization",
+    "CharacterizationReport",
+    "CharacterizationEnsemble",
+    "characterize_detector",
+    "characterize_detector_ensemble",
+]
 
 #: IoU below which a detection does not count as detecting the object (paper §VI-A).
 _MISDETECTION_IOU = 0.6
@@ -57,6 +65,28 @@ class CharacterizationReport:
     def k_max_frames(self, kind: ActorKind) -> int:
         """The stealth bound Kmax implied by the characterization."""
         return int(round(self.per_class[kind].misdetection_burst_p99))
+
+
+@dataclass(frozen=True)
+class CharacterizationEnsemble:
+    """Several independently-seeded characterization drives, aggregated.
+
+    One ten-minute drive gives a noisy estimate of the 99th-percentile
+    misdetection burst; an ensemble of seeded drives (fanned out over worker
+    processes) tightens the Kmax stealth bound the safety hijacker inherits.
+    """
+
+    reports: tuple[CharacterizationReport, ...]
+
+    def k_max_frames(self, kind: ActorKind) -> int:
+        """Median per-drive Kmax — robust to a single unlucky drive."""
+        if not self.reports:
+            raise ValueError("ensemble has no reports")
+        return int(round(float(np.median([r.k_max_frames(kind) for r in self.reports]))))
+
+    def burst_p99_values(self, kind: ActorKind) -> List[float]:
+        """Per-drive 99th-percentile burst lengths (for dispersion estimates)."""
+        return [r.per_class[kind].misdetection_burst_p99 for r in self.reports]
 
 
 def _build_characterization_world(road: Road) -> World:
@@ -141,3 +171,39 @@ def characterize_detector(
             n_frames_observed=frames_observed[kind],
         )
     return CharacterizationReport(per_class=per_class)
+
+
+def _characterize_with_seed(
+    duration_s: float, frame_rate_hz: float, seed: int
+) -> CharacterizationReport:
+    """Module-level worker so the ensemble fan-out is picklable."""
+    return characterize_detector(
+        duration_s=duration_s, seed=seed, frame_rate_hz=frame_rate_hz
+    )
+
+
+def characterize_detector_ensemble(
+    seeds: Sequence[int],
+    duration_s: float = 120.0,
+    frame_rate_hz: float = 15.0,
+    executor: ExecutorLike = None,
+) -> CharacterizationEnsemble:
+    """Run several seeded characterization drives, optionally in parallel.
+
+    ``executor`` follows the same convention as the campaign runner (``None``
+    = serial, an int = worker count, or a shared
+    :class:`~repro.runtime.executor.Executor`); the drives are independent, so
+    serial and parallel ensembles are identical.
+    """
+    if not seeds:
+        raise ValueError("at least one seed is required")
+    resolved = resolve_executor(executor)
+    try:
+        reports = resolved.map(
+            functools.partial(_characterize_with_seed, duration_s, frame_rate_hz),
+            [int(seed) for seed in seeds],
+        )
+    finally:
+        if resolved is not executor:
+            resolved.close()
+    return CharacterizationEnsemble(reports=tuple(reports))

@@ -16,7 +16,9 @@ import numpy as np
 from repro.core.attack_vectors import AttackVector
 from repro.core.safety_hijacker import NeuralSafetyPredictor, SafetyPredictor
 from repro.core.training import SafetyDataset
+from repro.experiments.campaign import CampaignConfig, run_campaigns
 from repro.experiments.results import CampaignResult, RunResult
+from repro.runtime import ExecutorLike
 from repro.sim.actors import ActorKind
 from repro.utils.stats import BoxplotStats, boxplot_stats
 
@@ -25,7 +27,9 @@ __all__ = [
     "Fig7Panel",
     "Fig8Data",
     "fig6_panels",
+    "fig6_panels_from_configs",
     "fig7_panels",
+    "fig7_panels_from_configs",
     "fig8_data",
 ]
 
@@ -94,6 +98,22 @@ def fig6_panels(
     return panels
 
 
+def fig6_panels_from_configs(
+    with_sh: Sequence[CampaignConfig],
+    without_sh: Sequence[CampaignConfig],
+    executor: ExecutorLike = None,
+    use_cache: bool = True,
+) -> List[Fig6Panel]:
+    """Execute the paired campaigns (optionally in parallel) and build Fig. 6.
+
+    ``executor`` is shared across all campaigns of both arms, so one worker
+    pool serves the entire figure.
+    """
+    configs = list(with_sh) + list(without_sh)
+    results = run_campaigns(configs, use_cache=use_cache, executor=executor)
+    return fig6_panels(results[: len(with_sh)], results[len(with_sh):])
+
+
 def fig7_panels(campaigns: Sequence[CampaignResult]) -> List[Fig7Panel]:
     """Group per-run K' values by target class and attack vector (Fig. 7)."""
     by_kind: Dict[ActorKind, Dict[str, List[float]]] = {
@@ -121,6 +141,15 @@ def fig7_panels(campaigns: Sequence[CampaignResult]) -> List[Fig7Panel]:
             )
         )
     return panels
+
+
+def fig7_panels_from_configs(
+    configs: Sequence[CampaignConfig],
+    executor: ExecutorLike = None,
+    use_cache: bool = True,
+) -> List[Fig7Panel]:
+    """Execute the campaigns (optionally in parallel) and build Fig. 7."""
+    return fig7_panels(run_campaigns(configs, use_cache=use_cache, executor=executor))
 
 
 def fig8_data(

@@ -15,13 +15,22 @@ from typing import Dict, List, Optional, Sequence
 
 from repro.core.attack_vectors import AttackVector
 from repro.core.scenario_matcher import ScenarioMatcher
+from repro.experiments.campaign import CampaignConfig, run_campaigns
 from repro.experiments.metrics import CampaignSummary, combined_rates, summarize_campaign
 from repro.experiments.results import CampaignResult
 from repro.perception.transforms import WorldObjectEstimate
+from repro.runtime import ExecutorLike
 from repro.sim.actors import ActorKind
 from repro.sim.road import Road
 
-__all__ = ["Table1Row", "Table2Row", "table1_rows", "table2_rows", "headline_findings"]
+__all__ = [
+    "Table1Row",
+    "Table2Row",
+    "table1_rows",
+    "table2_rows",
+    "table2_from_configs",
+    "headline_findings",
+]
 
 
 @dataclass(frozen=True)
@@ -111,6 +120,19 @@ def table2_rows(campaigns: Sequence[CampaignResult]) -> List[Table2Row]:
             )
         )
     return rows
+
+
+def table2_from_configs(
+    configs: Sequence[CampaignConfig],
+    executor: ExecutorLike = None,
+    use_cache: bool = True,
+) -> List[Table2Row]:
+    """Execute the campaigns (optionally in parallel) and build Table II rows.
+
+    One executor (and thus one worker pool) is shared across every campaign in
+    ``configs`` — the parallel path for regenerating the whole table.
+    """
+    return table2_rows(run_campaigns(configs, use_cache=use_cache, executor=executor))
 
 
 def headline_findings(

@@ -1,0 +1,44 @@
+"""Execution runtime: parallel executors, artifact caches, and registries.
+
+This package is the infrastructure layer underneath the experiment harness:
+
+* :mod:`repro.runtime.executor` — the :class:`Executor` abstraction with a
+  :class:`SerialExecutor` (in-process ``map``) and a
+  :class:`ParallelExecutor` (a :class:`concurrent.futures.ProcessPoolExecutor`
+  fan-out) that produce *identical* results for seeded workloads;
+* :mod:`repro.runtime.cache` — :class:`ArtifactCache`, a process-safe,
+  optionally disk-backed store for expensive artifacts (trained
+  safety-predictor weights, campaign results);
+* :mod:`repro.runtime.registry` — :class:`Registry`, the decorator-friendly
+  plugin registry backing the open scenario catalog of
+  :mod:`repro.sim.scenarios`;
+* :mod:`repro.runtime.cli` — the ``repro-campaign`` console entry point.
+
+The runtime deliberately depends on nothing above it (no ``repro.sim`` /
+``repro.experiments`` imports outside the CLI), so every layer of the
+reproduction can build on it without cycles.
+"""
+
+from repro.runtime.cache import ArtifactCache, default_cache_dir
+from repro.runtime.executor import (
+    Executor,
+    ExecutorLike,
+    ParallelExecutor,
+    SerialExecutor,
+    available_cpus,
+    resolve_executor,
+)
+from repro.runtime.registry import Registry, RegistryError
+
+__all__ = [
+    "ArtifactCache",
+    "default_cache_dir",
+    "Executor",
+    "ExecutorLike",
+    "ParallelExecutor",
+    "SerialExecutor",
+    "available_cpus",
+    "resolve_executor",
+    "Registry",
+    "RegistryError",
+]

@@ -1,0 +1,200 @@
+"""The ``repro-campaign`` console entry point.
+
+Runs seeded experiment campaigns from the command line, with parallel
+execution (``--jobs``), disk-backed artifact caching (``--cache-dir``), and
+the full scenario catalog (``--list-scenarios``).  Two modes:
+
+* the default reproduces the paper's Table II evaluation: the six RoboTack
+  campaigns plus the DS-5 random baseline, printing the reproduced table and
+  the §I headline findings;
+* ``--scenario DS-6 --attacker robotack --vector disappear`` runs a single
+  custom campaign against any registered scenario and prints its summary row.
+
+Examples::
+
+    repro-campaign --runs 30 --jobs 4
+    repro-campaign --scenario DS-7 --attacker robotack --vector disappear --jobs -1
+    repro-campaign --list-scenarios
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-campaign",
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    parser.add_argument("--runs", type=int, default=10, help="simulation runs per campaign")
+    parser.add_argument("--seed", type=int, default=2020, help="root seed for the campaigns")
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=0,
+        help="worker processes (0/1 = serial, -1 = all CPUs)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help="persist trained predictors and campaign results under this directory",
+    )
+    parser.add_argument(
+        "--scenario",
+        default=None,
+        help="run one campaign against this scenario instead of the Table II suite",
+    )
+    parser.add_argument(
+        "--attacker",
+        default="robotack",
+        help="attacker kind for --scenario mode (robotack, robotack_no_sh, random, none)",
+    )
+    parser.add_argument(
+        "--vector",
+        default=None,
+        help="attack vector for --scenario mode (disappear, move_out, move_in)",
+    )
+    parser.add_argument(
+        "--predictor",
+        default="neural",
+        help="safety-potential oracle (neural, kinematic)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="bypass the campaign result cache (predictors are still reused)",
+    )
+    parser.add_argument(
+        "--list-scenarios",
+        action="store_true",
+        help="print the registered scenario catalog and exit",
+    )
+    return parser
+
+
+def _print_scenarios() -> None:
+    from repro.sim.scenarios import scenario_catalog
+
+    print("Registered driving scenarios:")
+    for scenario_id, description in scenario_catalog().items():
+        print(f"  {scenario_id:<6s} {description}")
+
+
+def _run_table2_suite(args: argparse.Namespace) -> None:
+    from repro.experiments.campaign import (
+        baseline_random_campaign,
+        run_campaigns,
+        standard_campaigns,
+    )
+    from repro.experiments.metrics import summarize_campaign
+    from repro.experiments.tables import headline_findings
+
+    configs = list(standard_campaigns(n_runs=args.runs, seed=args.seed))
+    configs.append(baseline_random_campaign(n_runs=args.runs, seed=args.seed))
+    print(
+        f"Running {len(configs)} campaigns x {args.runs} runs "
+        f"(jobs={args.jobs}, seed={args.seed}) ..."
+    )
+    results = run_campaigns(configs, use_cache=not args.no_cache, executor=args.jobs)
+    print("\n=== Table II (reproduced) ===")
+    for campaign in results:
+        print(summarize_campaign(campaign).format_row())
+    findings = headline_findings(results[:-1], results[-1])
+    print("\n=== Headline findings (paper §I) ===")
+    print(f"RoboTack EB rate      : {findings['robotack_eb_rate']:.1%} (paper 75.2%)")
+    print(f"RoboTack crash rate   : {findings['robotack_crash_rate']:.1%} (paper 52.6%)")
+    print(f"Random baseline EB    : {findings['random_eb_rate']:.1%} (paper 2.3%)")
+    print(
+        f"Pedestrians vs vehicles: {findings['pedestrian_success_rate']:.1%} "
+        f"vs {findings['vehicle_success_rate']:.1%} (paper 84.1% vs 31.7%)"
+    )
+
+
+def _run_single_campaign(args: argparse.Namespace) -> None:
+    from repro.core.attack_vectors import AttackVector
+    from repro.experiments.campaign import (
+        AttackerKind,
+        CampaignConfig,
+        PredictorKind,
+        run_campaign,
+    )
+    from repro.experiments.metrics import summarize_campaign
+    from repro.sim.scenarios import list_scenario_ids
+
+    if args.scenario not in list_scenario_ids():
+        raise SystemExit(
+            f"unknown scenario {args.scenario!r}; available: {list_scenario_ids()}"
+        )
+    try:
+        attacker = AttackerKind(args.attacker)
+    except ValueError:
+        raise SystemExit(
+            f"unknown attacker {args.attacker!r}; "
+            f"choose from {[kind.value for kind in AttackerKind]}"
+        ) from None
+    vector = None
+    if args.vector is not None:
+        try:
+            vector = AttackVector.from_string(args.vector)
+        except ValueError as error:
+            raise SystemExit(str(error)) from None
+    try:
+        predictor = PredictorKind(args.predictor)
+    except ValueError:
+        raise SystemExit(
+            f"unknown predictor {args.predictor!r}; "
+            f"choose from {[kind.value for kind in PredictorKind]}"
+        ) from None
+    if vector is None and attacker in (AttackerKind.ROBOTACK, AttackerKind.ROBOTACK_NO_SH):
+        raise SystemExit(
+            f"attacker {attacker.value!r} needs an attack vector; pass "
+            f"--vector {{{', '.join(v.name.lower() for v in AttackVector)}}}"
+        )
+
+    vector_label = vector.name.title() if vector is not None else attacker.value.title()
+    config = CampaignConfig(
+        campaign_id=f"{args.scenario}-{vector_label}-cli",
+        scenario_id=args.scenario,
+        attacker=attacker,
+        vector=vector,
+        n_runs=args.runs,
+        seed=args.seed,
+        predictor=predictor,
+    )
+    print(f"Running {config.campaign_id}: {args.runs} runs (jobs={args.jobs}) ...")
+    result = run_campaign(config, use_cache=not args.no_cache, executor=args.jobs)
+    print(summarize_campaign(result).format_row())
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(list(argv) if argv is not None else None)
+
+    if args.runs < 1:
+        raise SystemExit("--runs must be a positive number of simulation runs")
+    if args.jobs < -1:
+        raise SystemExit("--jobs must be -1 (all CPUs), 0/1 (serial), or a worker count")
+
+    if args.list_scenarios:
+        _print_scenarios()
+        return 0
+
+    if args.cache_dir:
+        from repro.experiments.campaign import set_cache_dir
+
+        set_cache_dir(args.cache_dir)
+
+    if args.scenario is not None:
+        _run_single_campaign(args)
+    else:
+        _run_table2_suite(args)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via the console script
+    sys.exit(main())

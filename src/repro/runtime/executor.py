@@ -1,0 +1,171 @@
+"""Executors: serial and process-parallel fan-out of independent work items.
+
+The experiment campaigns of the paper are embarrassingly parallel: each run
+is seeded independently via ``np.random.SeedSequence([root_seed, run_index])``
+and shares no mutable state with its siblings.  The :class:`Executor`
+abstraction lets every campaign entry point fan those runs out over worker
+processes while guaranteeing that :class:`SerialExecutor` and
+:class:`ParallelExecutor` produce *element-wise identical* results — the
+ordering and seeding of work items never depend on the execution backend.
+
+Worker functions must be picklable (module-level callables or
+``functools.partial`` of them) because :class:`ParallelExecutor` is backed by
+:class:`concurrent.futures.ProcessPoolExecutor`.
+"""
+
+from __future__ import annotations
+
+import abc
+import multiprocessing
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import Any, Callable, Iterable, List, Optional, Sequence, TypeVar, Union
+
+__all__ = [
+    "Executor",
+    "SerialExecutor",
+    "ParallelExecutor",
+    "ExecutorLike",
+    "resolve_executor",
+    "available_cpus",
+]
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+#: Anything :func:`resolve_executor` accepts: an executor, a worker count
+#: (``-1`` = all CPUs, ``0``/``1`` = serial), or ``None`` (serial).
+ExecutorLike = Union["Executor", int, None]
+
+
+def available_cpus() -> int:
+    """The number of CPUs usable by this process (affinity-aware)."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux fallback
+        return os.cpu_count() or 1
+
+
+class Executor(abc.ABC):
+    """Maps a function over work items, preserving input order."""
+
+    @abc.abstractmethod
+    def map(self, fn: Callable[[T], R], items: Iterable[T]) -> List[R]:
+        """Apply ``fn`` to every item and return the results in input order."""
+
+    def close(self) -> None:
+        """Release any worker resources (idempotent)."""
+
+    def __enter__(self) -> "Executor":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+
+class SerialExecutor(Executor):
+    """Runs every work item in-process, one after another."""
+
+    def map(self, fn: Callable[[T], R], items: Iterable[T]) -> List[R]:
+        return [fn(item) for item in items]
+
+    def __repr__(self) -> str:
+        return "SerialExecutor()"
+
+
+class ParallelExecutor(Executor):
+    """Fans work items out over a pool of worker processes.
+
+    The pool is created lazily on the first :meth:`map` call and reused until
+    :meth:`close`, so one executor can serve many campaigns without paying the
+    process start-up cost each time.  Results come back in input order, and
+    per-item seeding is the caller's responsibility (the campaign runner seeds
+    each run from ``(root_seed, run_index)``), which is what makes parallel
+    output bit-identical to serial output.
+
+    Workers are started with the ``fork`` method where the platform offers it,
+    so per-process state set up before the fan-out — scenarios registered by
+    downstream plugins via ``@register_scenario``, cache directories set with
+    ``set_cache_dir`` — is visible inside the workers.  On spawn-only
+    platforms (Windows) such state must instead be established at module
+    import time, because workers re-import modules from scratch.
+    """
+
+    def __init__(
+        self,
+        max_workers: Optional[int] = None,
+        chunksize: Optional[int] = None,
+    ):
+        if max_workers is not None and max_workers < 1:
+            raise ValueError("max_workers must be at least 1")
+        self.max_workers = max_workers or available_cpus()
+        if chunksize is not None and chunksize < 1:
+            raise ValueError("chunksize must be at least 1")
+        self._chunksize = chunksize
+        self._pool: Optional[ProcessPoolExecutor] = None
+
+    @staticmethod
+    def _mp_context():
+        try:
+            return multiprocessing.get_context("fork")
+        except ValueError:  # pragma: no cover - spawn-only platforms
+            return None
+
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.max_workers, mp_context=self._mp_context()
+            )
+        return self._pool
+
+    def _chunksize_for(self, n_items: int) -> int:
+        if self._chunksize is not None:
+            return self._chunksize
+        # Two chunks per worker balances load against pickling overhead.
+        return max(1, n_items // (self.max_workers * 2) or 1)
+
+    def map(self, fn: Callable[[T], R], items: Iterable[T]) -> List[R]:
+        materialized: Sequence[T] = list(items)
+        if not materialized:
+            return []
+        if len(materialized) == 1:
+            # A single item never amortizes pool start-up; run it inline.
+            return [fn(materialized[0])]
+        pool = self._ensure_pool()
+        return list(
+            pool.map(fn, materialized, chunksize=self._chunksize_for(len(materialized)))
+        )
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def __repr__(self) -> str:
+        return f"ParallelExecutor(max_workers={self.max_workers})"
+
+
+def resolve_executor(spec: ExecutorLike = None) -> Executor:
+    """Coerce an executor spec into an :class:`Executor`.
+
+    * ``None``, ``0``, or ``1`` — :class:`SerialExecutor`;
+    * ``n > 1`` — :class:`ParallelExecutor` with ``n`` workers;
+    * ``-1`` — :class:`ParallelExecutor` over all available CPUs;
+    * an :class:`Executor` instance — returned unchanged.
+
+    This is the type behind every ``executor=`` / ``--jobs`` knob in the
+    experiment layer.
+    """
+    if spec is None:
+        return SerialExecutor()
+    if isinstance(spec, Executor):
+        return spec
+    if isinstance(spec, bool) or not isinstance(spec, int):
+        raise TypeError(f"executor spec must be an Executor, int, or None, got {spec!r}")
+    if spec == -1:
+        return ParallelExecutor(available_cpus())
+    if spec < -1:
+        raise ValueError(f"negative worker counts other than -1 are invalid: {spec}")
+    if spec <= 1:
+        return SerialExecutor()
+    return ParallelExecutor(spec)

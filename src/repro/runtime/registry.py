@@ -1,0 +1,121 @@
+"""A small decorator-friendly plugin registry.
+
+The registry powers the open scenario catalog (``@register_scenario("DS-6")``
+in :mod:`repro.sim.scenarios`), replacing the closed module-level dict that
+previously capped the system at the paper's five hard-coded scenarios.  It is
+generic: any keyed family of builders/factories can use it.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Generic, Iterator, List, Optional, Tuple, TypeVar
+
+__all__ = ["Registry", "RegistryError"]
+
+T = TypeVar("T")
+
+
+class RegistryError(KeyError):
+    """Raised on unknown keys and conflicting registrations."""
+
+
+class Registry(Generic[T]):
+    """A keyed collection of plugins with decorator-based registration.
+
+    >>> scenarios: Registry[Callable[[], str]] = Registry("scenario")
+    >>> @scenarios.register("DS-1")
+    ... def build_ds1():
+    ...     return "car following"
+    >>> scenarios.get("DS-1")()
+    'car following'
+    """
+
+    def __init__(self, kind: str):
+        #: Human-readable name of the registered family, used in error messages.
+        self.kind = kind
+        self._entries: Dict[str, T] = {}
+        self._descriptions: Dict[str, str] = {}
+
+    # ------------------------------------------------------------------ #
+    # Registration
+    # ------------------------------------------------------------------ #
+
+    def register(
+        self,
+        key: str,
+        value: Optional[T] = None,
+        *,
+        description: str = "",
+        overwrite: bool = False,
+    ):
+        """Register ``value`` under ``key``; usable directly or as a decorator.
+
+        Direct form: ``registry.register("DS-1", builder)``.
+        Decorator form: ``@registry.register("DS-1")``.
+        Re-registering an existing key raises unless ``overwrite=True`` (so a
+        typo cannot silently shadow a scenario).
+        """
+        if not key or not isinstance(key, str):
+            raise RegistryError(f"{self.kind} keys must be non-empty strings, got {key!r}")
+
+        def _store(entry: T) -> T:
+            if not overwrite and key in self._entries:
+                raise RegistryError(
+                    f"{self.kind} {key!r} is already registered; "
+                    "pass overwrite=True to replace it"
+                )
+            self._entries[key] = entry
+            if description:
+                self._descriptions[key] = description
+            elif getattr(entry, "__doc__", None):
+                self._descriptions[key] = str(entry.__doc__).strip().splitlines()[0]
+            return entry
+
+        if value is not None:
+            return _store(value)
+        return _store
+
+    def unregister(self, key: str) -> T:
+        """Remove and return the entry for ``key`` (mainly for tests)."""
+        if key not in self._entries:
+            raise RegistryError(f"unknown {self.kind} {key!r}; available: {self.keys()}")
+        self._descriptions.pop(key, None)
+        return self._entries.pop(key)
+
+    # ------------------------------------------------------------------ #
+    # Lookup
+    # ------------------------------------------------------------------ #
+
+    def get(self, key: str) -> T:
+        """Look up an entry, with an informative error for unknown keys."""
+        try:
+            return self._entries[key]
+        except KeyError:
+            raise RegistryError(
+                f"unknown {self.kind} {key!r}; available: {self.keys()}"
+            ) from None
+
+    def description(self, key: str) -> str:
+        """The one-line description recorded at registration time."""
+        self.get(key)  # raise on unknown keys
+        return self._descriptions.get(key, "")
+
+    def keys(self) -> List[str]:
+        """All registered keys, sorted."""
+        return sorted(self._entries)
+
+    def items(self) -> List[Tuple[str, T]]:
+        """(key, entry) pairs, sorted by key."""
+        return [(key, self._entries[key]) for key in self.keys()]
+
+    def __contains__(self, key: object) -> bool:
+        return key in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.keys())
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Registry({self.kind!r}, keys={self.keys()})"

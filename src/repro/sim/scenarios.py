@@ -1,4 +1,6 @@
-"""The five driving scenarios of paper §V-C (Fig. 4).
+"""The driving-scenario catalog: the paper's five scenarios plus extensions.
+
+The paper's §V-C scenarios (Fig. 4):
 
 * **DS-1** - the EV follows a target vehicle (TV) in its lane; the TV cruises
   at 25 kph and starts 60 m ahead.  Used for `Disappear` / `Move_Out` attacks
@@ -13,6 +15,22 @@
 * **DS-5** - the EV follows a target vehicle among several other vehicles with
   random trajectories; the baseline random attack is evaluated here.
 
+Catalog extensions beyond the paper:
+
+* **DS-6** - a multi-vehicle platoon cut-in (inspired by the ACC scenic
+  scenarios of *acc_verifai*): the EV follows a two-vehicle platoon while a
+  faster vehicle merges from the opposite lane into the gap ahead of the EV
+  and settles to platoon speed.  The cut-in vehicle is the attack target.
+* **DS-7** - a low-visibility pedestrian crossing: the DS-2 geometry under a
+  degraded camera detector (fog/low-light: shorter detection range, noisier
+  boxes, more frequent misdetection bursts) with a correspondingly slower EV.
+
+Scenarios register themselves with :func:`register_scenario`, a decorator over
+the runtime :class:`~repro.runtime.registry.Registry` — downstream projects
+can plug in new scenarios (``@register_scenario("DS-8")``) without touching
+this module, and every registered scenario is runnable through
+:func:`repro.experiments.campaign.run_campaign`.
+
 Each scenario builder accepts a :class:`ScenarioVariation` that randomizes the
 initial conditions (speeds, gaps, pedestrian timing) so that campaigns of
 independent runs can be generated from seeds.
@@ -21,22 +39,30 @@ independent runs can be generated from seeds.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional
 
 import numpy as np
 
 from repro.geometry import Vec2
+from repro.runtime.registry import Registry, RegistryError
 from repro.sim.actors import ActorDimensions, ActorKind, EgoVehicle, ScriptedActor
 from repro.sim.road import Road
 from repro.sim.waypoints import Waypoint, WaypointRoute
 from repro.sim.world import World
 from repro.utils.units import kph_to_mps
 
+if TYPE_CHECKING:  # pragma: no cover - the sensing stack imports sim.actors,
+    # so importing it back here at runtime would be circular.
+    from repro.perception.detection import DetectorConfig
+
 __all__ = [
     "ScenarioVariation",
     "DrivingScenario",
+    "ScenarioBuilder",
+    "register_scenario",
     "build_scenario",
     "list_scenario_ids",
+    "scenario_catalog",
 ]
 
 #: Longitudinal coordinate (m) at which the ego vehicle starts in every scenario.
@@ -90,12 +116,57 @@ class DrivingScenario:
     duration_s: float
     #: Additional scenario metadata (initial gaps etc.), for logging.
     metadata: Dict[str, float] = field(default_factory=dict)
+    #: Detector override for degraded-sensing scenarios (``None`` = default).
+    detector_config: Optional["DetectorConfig"] = None
+
+
+#: Signature every registered scenario builder must satisfy.
+ScenarioBuilder = Callable[[ScenarioVariation], DrivingScenario]
+
+_SCENARIOS: Registry[ScenarioBuilder] = Registry("driving scenario")
+
+
+def register_scenario(
+    scenario_id: str, *, description: str = "", overwrite: bool = False
+) -> Callable[[ScenarioBuilder], ScenarioBuilder]:
+    """Register the decorated builder in the scenario catalog under ``scenario_id``.
+
+    >>> @register_scenario("DS-8")
+    ... def _build_ds8(variation: ScenarioVariation) -> DrivingScenario:
+    ...     ...
+    """
+    return _SCENARIOS.register(scenario_id, description=description, overwrite=overwrite)
+
+
+def list_scenario_ids() -> List[str]:
+    """The identifiers of all registered driving scenarios."""
+    return _SCENARIOS.keys()
+
+
+def scenario_catalog() -> Dict[str, str]:
+    """Mapping of scenario id to its one-line description."""
+    return {scenario_id: _SCENARIOS.description(scenario_id) for scenario_id in _SCENARIOS}
+
+
+def build_scenario(
+    scenario_id: str, variation: ScenarioVariation | None = None
+) -> DrivingScenario:
+    """Instantiate a driving scenario by id with the given variation."""
+    try:
+        builder = _SCENARIOS.get(scenario_id)
+    except RegistryError:
+        raise KeyError(
+            f"unknown scenario {scenario_id!r}; available: {list_scenario_ids()}"
+        ) from None
+    variation = variation or ScenarioVariation.nominal()
+    return builder(variation)
 
 
 def _make_ego(speed_mps: float) -> EgoVehicle:
     return EgoVehicle(position=Vec2(_EGO_START_X, 0.0), speed_mps=speed_mps)
 
 
+@register_scenario("DS-1", description="EV follows a target vehicle in its lane")
 def _build_ds1(variation: ScenarioVariation) -> DrivingScenario:
     """DS-1: EV follows a constant-speed target vehicle in the ego lane."""
     road = Road()
@@ -122,12 +193,20 @@ def _build_ds1(variation: ScenarioVariation) -> DrivingScenario:
     )
 
 
-def _build_ds2(variation: ScenarioVariation) -> DrivingScenario:
-    """DS-2: a pedestrian illegally crosses the street ahead of the EV."""
+def _pedestrian_crossing_scenario(
+    variation: ScenarioVariation,
+    scenario_id: str,
+    description: str,
+    crossing_x_nominal: float,
+    cruise_kph: float,
+    pedestrian_name: str,
+    detector_config: Optional["DetectorConfig"] = None,
+) -> DrivingScenario:
+    """Shared geometry of the pedestrian-crossing scenarios (DS-2, DS-7)."""
     road = Road()
-    cruise = kph_to_mps(_DEFAULT_CRUISE_KPH) * variation.ego_speed_scale
+    cruise = kph_to_mps(cruise_kph) * variation.ego_speed_scale
     ego = _make_ego(speed_mps=cruise)
-    crossing_x = 85.0 + variation.lead_gap_offset_m
+    crossing_x = crossing_x_nominal + variation.lead_gap_offset_m
     walk_speed = 1.4 * variation.pedestrian_speed_scale
     start_y, end_y = -6.0, 6.0
     route = WaypointRoute(
@@ -137,11 +216,11 @@ def _build_ds2(variation: ScenarioVariation) -> DrivingScenario:
             Waypoint(position=Vec2(crossing_x, end_y), speed_mps=walk_speed),
         ]
     )
-    pedestrian = ScriptedActor(ActorKind.PEDESTRIAN, route, name="crossing-pedestrian")
+    pedestrian = ScriptedActor(ActorKind.PEDESTRIAN, route, name=pedestrian_name)
     world = World(ego=ego, actors=[pedestrian], road=road)
     return DrivingScenario(
-        scenario_id="DS-2",
-        description="A pedestrian illegally crosses the street in front of the EV",
+        scenario_id=scenario_id,
+        description=description,
         world=world,
         road=road,
         cruise_speed_mps=cruise,
@@ -149,9 +228,24 @@ def _build_ds2(variation: ScenarioVariation) -> DrivingScenario:
         target_kind=ActorKind.PEDESTRIAN,
         duration_s=25.0,
         metadata={"crossing_x_m": crossing_x, "walk_speed_mps": walk_speed},
+        detector_config=detector_config,
     )
 
 
+@register_scenario("DS-2", description="A pedestrian illegally crosses ahead of the EV")
+def _build_ds2(variation: ScenarioVariation) -> DrivingScenario:
+    """DS-2: a pedestrian illegally crosses the street ahead of the EV."""
+    return _pedestrian_crossing_scenario(
+        variation,
+        scenario_id="DS-2",
+        description="A pedestrian illegally crosses the street in front of the EV",
+        crossing_x_nominal=85.0,
+        cruise_kph=_DEFAULT_CRUISE_KPH,
+        pedestrian_name="crossing-pedestrian",
+    )
+
+
+@register_scenario("DS-3", description="A target vehicle is parked in the parking lane")
 def _build_ds3(variation: ScenarioVariation) -> DrivingScenario:
     """DS-3: a target vehicle is parked in the parking lane."""
     road = Road()
@@ -179,6 +273,7 @@ def _build_ds3(variation: ScenarioVariation) -> DrivingScenario:
     )
 
 
+@register_scenario("DS-4", description="A pedestrian walks towards the EV in the parking lane")
 def _build_ds4(variation: ScenarioVariation) -> DrivingScenario:
     """DS-4: a pedestrian walks towards the EV in the parking lane, then stops."""
     road = Road()
@@ -213,6 +308,7 @@ def _build_ds4(variation: ScenarioVariation) -> DrivingScenario:
     )
 
 
+@register_scenario("DS-5", description="EV follows a target vehicle among random traffic")
 def _build_ds5(variation: ScenarioVariation) -> DrivingScenario:
     """DS-5: the EV follows a target vehicle among other random-traffic vehicles."""
     road = Road()
@@ -280,27 +376,122 @@ def _build_ds5(variation: ScenarioVariation) -> DrivingScenario:
     )
 
 
-_BUILDERS: Dict[str, Callable[[ScenarioVariation], DrivingScenario]] = {
-    "DS-1": _build_ds1,
-    "DS-2": _build_ds2,
-    "DS-3": _build_ds3,
-    "DS-4": _build_ds4,
-    "DS-5": _build_ds5,
-}
+@register_scenario("DS-6", description="A faster vehicle cuts into the platoon gap ahead of the EV")
+def _build_ds6(variation: ScenarioVariation) -> DrivingScenario:
+    """DS-6: multi-vehicle platoon cut-in (acc_verifai-style ACC scenario).
+
+    The EV follows a two-vehicle platoon cruising at 25 kph.  A faster vehicle
+    approaches in the opposite lane, merges diagonally into the gap between the
+    EV and the platoon tail, and settles to platoon speed — the classic ACC
+    cut-in stressor.  The cut-in vehicle is the intended attack target: once it
+    occupies the ego lane it is a candidate for `Disappear` / `Move_Out`.
+    """
+    road = Road()
+    cruise = kph_to_mps(_DEFAULT_CRUISE_KPH) * variation.ego_speed_scale
+    ego = _make_ego(speed_mps=cruise)
+    platoon_speed = max(1.0, kph_to_mps(25.0) + variation.lead_speed_offset_mps)
+    tail_gap = 85.0 + variation.lead_gap_offset_m
+    tail_start = Vec2(_EGO_START_X + tail_gap, 0.0)
+    platoon_tail = ScriptedActor(
+        ActorKind.VEHICLE,
+        WaypointRoute.straight_line(tail_start, Vec2(tail_start.x + 1500.0, 0.0), platoon_speed),
+        ActorDimensions.suv(),
+        name="platoon-tail",
+    )
+    platoon_lead = ScriptedActor(
+        ActorKind.VEHICLE,
+        WaypointRoute.straight_line(
+            Vec2(tail_start.x + 18.0, 0.0), Vec2(tail_start.x + 1518.0, 0.0), platoon_speed
+        ),
+        ActorDimensions.sedan(),
+        name="platoon-lead",
+    )
+    # The cutter starts beside/ahead of the EV in the opposite lane, merges
+    # into the ego lane well ahead of the EV, and decelerates to platoon
+    # speed.  The merge point leaves the EV a DS-1-like following gap at
+    # merge completion (the EV covers ~30 m while the cutter crosses over),
+    # so a benign run ends in ordinary car following, not a crash — the
+    # hazard must come from the attack, not the geometry.
+    opposite_y = road.lane("opposite").center_y
+    merge_speed = max(platoon_speed + 3.0, kph_to_mps(40.0))
+    merge_x = _EGO_START_X + 90.0 + 0.5 * variation.lead_gap_offset_m
+    cutter_route = WaypointRoute(
+        [
+            Waypoint(position=Vec2(merge_x - 25.0, opposite_y), speed_mps=merge_speed),
+            Waypoint(position=Vec2(merge_x, 0.0), speed_mps=merge_speed),
+            Waypoint(position=Vec2(merge_x + 40.0, 0.0), speed_mps=platoon_speed),
+            Waypoint(position=Vec2(merge_x + 1500.0, 0.0), speed_mps=platoon_speed),
+        ]
+    )
+    cutter = ScriptedActor(
+        ActorKind.VEHICLE, cutter_route, ActorDimensions.sedan(), name="cut-in-vehicle"
+    )
+    world = World(ego=ego, actors=[platoon_tail, platoon_lead, cutter], road=road)
+    return DrivingScenario(
+        scenario_id="DS-6",
+        description=(
+            "EV follows a two-vehicle platoon while a faster vehicle cuts in "
+            "from the opposite lane and settles to platoon speed"
+        ),
+        world=world,
+        road=road,
+        cruise_speed_mps=cruise,
+        target_actor_id=cutter.actor_id,
+        target_kind=ActorKind.VEHICLE,
+        duration_s=35.0,
+        metadata={
+            "platoon_gap_m": tail_gap,
+            "platoon_speed_mps": platoon_speed,
+            "merge_x_m": merge_x,
+        },
+    )
 
 
-def list_scenario_ids() -> List[str]:
-    """The identifiers of all available driving scenarios."""
-    return sorted(_BUILDERS)
+def _degraded_detector_config() -> "DetectorConfig":
+    """A fog/low-light detector: noisier boxes, longer bursts, shorter range."""
+    from repro.perception.detection import DetectorConfig, DetectorNoiseModel
 
-
-def build_scenario(
-    scenario_id: str, variation: ScenarioVariation | None = None
-) -> DrivingScenario:
-    """Instantiate a driving scenario by id with the given variation."""
-    if scenario_id not in _BUILDERS:
-        raise KeyError(
-            f"unknown scenario {scenario_id!r}; available: {list_scenario_ids()}"
+    def degrade(noise: DetectorNoiseModel) -> DetectorNoiseModel:
+        return DetectorNoiseModel(
+            center_noise_mu_x=noise.center_noise_mu_x,
+            center_noise_sigma_x=noise.center_noise_sigma_x * 1.5,
+            center_noise_mu_y=noise.center_noise_mu_y,
+            center_noise_sigma_y=noise.center_noise_sigma_y * 1.5,
+            misdetection_start_probability=min(
+                0.99, noise.misdetection_start_probability * 4.0
+            ),
+            misdetection_burst_p99_frames=noise.misdetection_burst_p99_frames * 1.25,
         )
-    variation = variation or ScenarioVariation.nominal()
-    return _BUILDERS[scenario_id](variation)
+
+    return DetectorConfig(
+        vehicle_noise=degrade(DetectorNoiseModel.vehicle_default()),
+        pedestrian_noise=degrade(DetectorNoiseModel.pedestrian_default()),
+        # Fog halves the usable detection range: objects must appear twice as
+        # tall in the image before the detector reports them.
+        min_bbox_height_px=16.0,
+    )
+
+
+@register_scenario("DS-7", description="Pedestrian crossing in fog with a degraded detector")
+def _build_ds7(variation: ScenarioVariation) -> DrivingScenario:
+    """DS-7: low-visibility pedestrian crossing with a degraded camera detector.
+
+    The DS-2 geometry under fog/low-light sensing: the simulated detector
+    reports objects later (shorter range), with wider centre noise and more
+    frequent misdetection bursts, and the EV cruises slower (35 kph), as a
+    human-supervised deployment would in fog.  Degraded sensing both masks the
+    attacker's perturbations inside a noisier baseline and leaves the ADS less
+    margin to recover.
+    """
+    return _pedestrian_crossing_scenario(
+        variation,
+        scenario_id="DS-7",
+        description=(
+            "A pedestrian crosses ahead of the EV in fog: the camera detector "
+            "sees late, noisily, and with frequent misdetection bursts"
+        ),
+        crossing_x_nominal=75.0,
+        cruise_kph=35.0,
+        pedestrian_name="fog-crossing-pedestrian",
+        detector_config=_degraded_detector_config(),
+    )

@@ -1,0 +1,62 @@
+"""Tests for the ``repro-campaign`` console entry point."""
+
+import pytest
+
+from repro.experiments.campaign import clear_caches
+from repro.runtime.cli import build_parser, main
+
+
+@pytest.fixture(autouse=True)
+def _fresh_caches():
+    clear_caches()
+    yield
+    clear_caches()
+
+
+class TestCli:
+    def test_list_scenarios(self, capsys):
+        assert main(["--list-scenarios"]) == 0
+        out = capsys.readouterr().out
+        for scenario_id in ("DS-1", "DS-5", "DS-6", "DS-7"):
+            assert scenario_id in out
+
+    def test_single_campaign_without_attacker(self, capsys):
+        code = main(
+            ["--scenario", "DS-1", "--attacker", "none", "--runs", "2", "--seed", "3"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "DS-1" in out
+
+    def test_unknown_scenario_exits_with_error(self):
+        with pytest.raises(SystemExit):
+            main(["--scenario", "DS-99", "--runs", "1"])
+
+    def test_unknown_attacker_exits_with_error(self):
+        with pytest.raises(SystemExit):
+            main(["--scenario", "DS-1", "--attacker", "quantum", "--runs", "1"])
+
+    def test_unknown_vector_exits_with_error(self):
+        with pytest.raises(SystemExit):
+            main(["--scenario", "DS-1", "--vector", "teleport", "--runs", "1"])
+
+    def test_cache_dir_flag_routes_artifacts_to_disk(self, tmp_path, capsys):
+        code = main(
+            [
+                "--scenario", "DS-1", "--attacker", "none",
+                "--runs", "1", "--cache-dir", str(tmp_path),
+            ]
+        )
+        assert code == 0
+        capsys.readouterr()
+        assert list(tmp_path.glob("campaigns/*.pkl"))
+        # Restore the caches' default (env-based) directory for other tests.
+        from repro.experiments.campaign import set_cache_dir
+
+        set_cache_dir(None)
+
+    def test_parser_defaults(self):
+        args = build_parser().parse_args([])
+        assert args.runs == 10
+        assert args.jobs == 0
+        assert args.scenario is None

@@ -1,0 +1,98 @@
+"""Tests for the serial and process-parallel executors."""
+
+import os
+
+import pytest
+
+from repro.runtime.executor import (
+    ParallelExecutor,
+    SerialExecutor,
+    available_cpus,
+    resolve_executor,
+)
+
+
+def _square(x: int) -> int:
+    return x * x
+
+
+class TestSerialExecutor:
+    def test_map_preserves_order(self):
+        assert SerialExecutor().map(_square, [3, 1, 2]) == [9, 1, 4]
+
+    def test_empty_input(self):
+        assert SerialExecutor().map(_square, []) == []
+
+
+class TestParallelExecutor:
+    def test_map_matches_serial(self):
+        with ParallelExecutor(max_workers=2) as executor:
+            assert executor.map(_square, range(10)) == [x * x for x in range(10)]
+
+    def test_single_item_runs_inline(self):
+        executor = ParallelExecutor(max_workers=2)
+        assert executor.map(_square, [5]) == [25]
+        # No pool was ever created for a single item.
+        assert executor._pool is None
+
+    def test_empty_input(self):
+        with ParallelExecutor(max_workers=2) as executor:
+            assert executor.map(_square, []) == []
+
+    def test_pool_reused_across_maps(self):
+        with ParallelExecutor(max_workers=2) as executor:
+            executor.map(_square, range(4))
+            pool = executor._pool
+            executor.map(_square, range(4))
+            assert executor._pool is pool
+
+    def test_close_is_idempotent(self):
+        executor = ParallelExecutor(max_workers=2)
+        executor.map(_square, range(4))
+        executor.close()
+        executor.close()
+        assert executor._pool is None
+
+    def test_worker_processes_are_real(self):
+        with ParallelExecutor(max_workers=2) as executor:
+            pids = set(executor.map(_pid, range(8)))
+        assert os.getpid() not in pids
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            ParallelExecutor(max_workers=0)
+        with pytest.raises(ValueError):
+            ParallelExecutor(max_workers=2, chunksize=0)
+
+
+def _pid(_: int) -> int:
+    return os.getpid()
+
+
+class TestResolveExecutor:
+    def test_none_and_small_counts_are_serial(self):
+        assert isinstance(resolve_executor(None), SerialExecutor)
+        assert isinstance(resolve_executor(0), SerialExecutor)
+        assert isinstance(resolve_executor(1), SerialExecutor)
+
+    def test_counts_above_one_are_parallel(self):
+        executor = resolve_executor(3)
+        assert isinstance(executor, ParallelExecutor)
+        assert executor.max_workers == 3
+
+    def test_minus_one_uses_all_cpus(self):
+        executor = resolve_executor(-1)
+        assert isinstance(executor, ParallelExecutor)
+        assert executor.max_workers == available_cpus()
+
+    def test_executor_instances_pass_through(self):
+        serial = SerialExecutor()
+        assert resolve_executor(serial) is serial
+
+    def test_invalid_specs_rejected(self):
+        with pytest.raises(TypeError):
+            resolve_executor("four")  # type: ignore[arg-type]
+        with pytest.raises(TypeError):
+            resolve_executor(True)  # type: ignore[arg-type]
+        with pytest.raises(ValueError):
+            resolve_executor(-2)

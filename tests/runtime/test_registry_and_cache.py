@@ -1,0 +1,184 @@
+"""Tests for the runtime registry and artifact cache."""
+
+import enum
+from dataclasses import dataclass
+
+import pytest
+
+from repro.runtime.cache import ArtifactCache, default_cache_dir, encode_key
+from repro.runtime.registry import Registry, RegistryError
+
+
+class TestRegistry:
+    def test_decorator_registration_and_lookup(self):
+        registry: Registry = Registry("widget")
+
+        @registry.register("w-1", description="the first widget")
+        def build():
+            return 41
+
+        assert "w-1" in registry
+        assert registry.get("w-1") is build
+        assert registry.get("w-1")() == 41
+        assert registry.description("w-1") == "the first widget"
+
+    def test_direct_registration(self):
+        registry: Registry = Registry("widget")
+        registry.register("w-2", lambda: 2)
+        assert registry.get("w-2")() == 2
+
+    def test_description_falls_back_to_docstring(self):
+        registry: Registry = Registry("widget")
+
+        @registry.register("w-3")
+        def build():
+            """Builds the third widget.
+
+            More detail that should not appear in the one-liner.
+            """
+
+        assert registry.description("w-3") == "Builds the third widget."
+
+    def test_duplicate_key_rejected(self):
+        registry: Registry = Registry("widget")
+        registry.register("w-1", lambda: 1)
+        with pytest.raises(RegistryError, match="already registered"):
+            registry.register("w-1", lambda: 2)
+
+    def test_overwrite_allows_replacement(self):
+        registry: Registry = Registry("widget")
+        registry.register("w-1", lambda: 1)
+        registry.register("w-1", lambda: 2, overwrite=True)
+        assert registry.get("w-1")() == 2
+
+    def test_unknown_key_error_lists_available(self):
+        registry: Registry = Registry("widget")
+        registry.register("w-1", lambda: 1)
+        with pytest.raises(RegistryError, match="w-1"):
+            registry.get("nope")
+
+    def test_unknown_key_is_a_keyerror(self):
+        # RegistryError subclasses KeyError so existing except-clauses keep working.
+        registry: Registry = Registry("widget")
+        with pytest.raises(KeyError):
+            registry.get("nope")
+
+    def test_invalid_keys_rejected(self):
+        registry: Registry = Registry("widget")
+        with pytest.raises(RegistryError):
+            registry.register("", lambda: 1)
+        with pytest.raises(RegistryError):
+            registry.register(3, lambda: 1)  # type: ignore[arg-type]
+
+    def test_keys_sorted_and_iteration(self):
+        registry: Registry = Registry("widget")
+        registry.register("b", lambda: 1)
+        registry.register("a", lambda: 2)
+        assert registry.keys() == ["a", "b"]
+        assert list(registry) == ["a", "b"]
+        assert len(registry) == 2
+
+    def test_unregister(self):
+        registry: Registry = Registry("widget")
+        registry.register("w-1", lambda: 1)
+        registry.unregister("w-1")
+        assert "w-1" not in registry
+        with pytest.raises(RegistryError):
+            registry.unregister("w-1")
+
+
+class _Color(enum.Enum):
+    RED = "red"
+    BLUE = "blue"
+
+
+@dataclass(frozen=True)
+class _Spec:
+    name: str
+    count: int
+
+
+class TestEncodeKey:
+    def test_primitives_and_containers(self):
+        assert encode_key(("a", 1, None, True)) == encode_key(("a", 1, None, True))
+        assert encode_key((1,)) != encode_key((2,))
+        assert encode_key([1, 2]) != encode_key((1, 2))
+
+    def test_enums_encode_by_name_not_identity(self):
+        assert encode_key(_Color.RED) == "_Color.RED"
+        assert encode_key(_Color.RED) != encode_key(_Color.BLUE)
+
+    def test_dataclasses_encode_by_field_values(self):
+        assert encode_key(_Spec("x", 1)) == encode_key(_Spec("x", 1))
+        assert encode_key(_Spec("x", 1)) != encode_key(_Spec("x", 2))
+
+    def test_unhashable_key_types_rejected(self):
+        with pytest.raises(TypeError):
+            encode_key(object())
+
+
+class TestArtifactCache:
+    def test_memory_roundtrip_and_identity(self):
+        cache = ArtifactCache("test")
+        value = {"weights": [1.0, 2.0]}
+        cache.put(("a", 1), value)
+        assert cache.get(("a", 1)) is value
+        assert ("a", 1) in cache
+        assert cache.get(("missing",)) is None
+        assert cache.get(("missing",), default=7) == 7
+
+    def test_get_or_create_builds_once(self):
+        cache = ArtifactCache("test")
+        calls = []
+
+        def factory():
+            calls.append(1)
+            return "artifact"
+
+        assert cache.get_or_create("k", factory) == "artifact"
+        assert cache.get_or_create("k", factory) == "artifact"
+        assert len(calls) == 1
+
+    def test_clear(self):
+        cache = ArtifactCache("test")
+        cache.put("k", 1)
+        cache.clear()
+        assert "k" not in cache
+
+    def test_disk_backing_survives_memory_clear(self, tmp_path):
+        cache = ArtifactCache("predictors", cache_dir=tmp_path)
+        cache.put(("DS-1", _Color.RED), [1, 2, 3])
+        cache.clear()  # drop the memory layer only
+        assert cache.get(("DS-1", _Color.RED)) == [1, 2, 3]
+
+    def test_disk_backing_shared_between_instances(self, tmp_path):
+        # Simulates two processes pointing at the same cache directory.
+        writer = ArtifactCache("campaigns", cache_dir=tmp_path)
+        writer.put("key", {"runs": 30})
+        reader = ArtifactCache("campaigns", cache_dir=tmp_path)
+        assert reader.get("key") == {"runs": 30}
+
+    def test_disk_clear_removes_files(self, tmp_path):
+        cache = ArtifactCache("test", cache_dir=tmp_path)
+        cache.put("k", 1)
+        cache.clear(disk=True)
+        assert cache.get("k") is None
+        assert not list((tmp_path / "test").glob("*.pkl"))
+
+    def test_corrupt_disk_entry_is_a_miss(self, tmp_path):
+        cache = ArtifactCache("test", cache_dir=tmp_path)
+        cache.put("k", 1)
+        cache.clear()
+        for path in (tmp_path / "test").glob("*.pkl"):
+            path.write_bytes(b"not a pickle")
+        assert cache.get("k") is None
+
+    def test_env_var_enables_disk_layer(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        assert default_cache_dir() == tmp_path
+        cache = ArtifactCache("envtest")
+        cache.put("k", "v")
+        cache.clear()
+        assert cache.get("k") == "v"
+        monkeypatch.delenv("REPRO_CACHE_DIR")
+        assert default_cache_dir() is None
