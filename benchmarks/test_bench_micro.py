@@ -68,6 +68,37 @@ def test_bench_robotack_frame_processing(benchmark):
     benchmark(attacker.process_frame, frame, 12.5, 1.0 / 15.0)
 
 
+def test_bench_world_snapshot_ds5(benchmark):
+    """The per-step ground-truth snapshot (the call the step loop now makes once)."""
+    scenario = build_scenario("DS-5", ScenarioVariation.nominal())
+    benchmark(scenario.world.snapshot)
+
+
+def test_bench_simulation_step_loop(benchmark):
+    """Guards the step-loop optimisation: one ``world.snapshot`` per step.
+
+    A short fixed-length DS-1 run (60 steps, no attacker) dominated by the
+    per-step loop body; regressions here mean someone re-introduced redundant
+    snapshotting (the loop used to build three snapshots per step) or another
+    per-step cost.
+    """
+    from repro.sim.config import SimulationConfig
+
+    def run_short():
+        scenario = build_scenario("DS-1", ScenarioVariation.nominal())
+        ads = build_ads_agent(scenario, np.random.default_rng(8))
+        simulator = Simulator(
+            scenario,
+            ads,
+            config=SimulationConfig(max_duration_s=4.0),
+            rng=np.random.default_rng(9),
+        )
+        return simulator.run()
+
+    result = benchmark.pedantic(run_short, rounds=3, iterations=1)
+    assert result.steps_executed == 60
+
+
 @pytest.mark.parametrize("scenario_id", ["DS-1", "DS-2"])
 def test_bench_full_golden_simulation(benchmark, scenario_id):
     def run_once():

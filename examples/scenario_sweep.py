@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""Sweep a scenario's perturbation space and mine the durable run store.
+
+Expands a declarative :class:`~repro.sim.sweeps.ParameterSpace` — the initial
+gap to the lead vehicle, the EV speed scale, and a fog-style detector
+degradation — into one campaign per Latin-hypercube sample, executes the
+batch with every run durably recorded in an experiment store, and then
+answers a question the paper's random campaigns cannot: *how does the benign
+safety margin move across the perturbation space?*
+
+Because every run is checkpointed as it completes, interrupting this script
+(Ctrl-C) loses at most the runs in flight; re-running it (or
+``repro-campaign resume --store <dir>``) finishes only the missing runs and
+produces statistics bit-identical to an uninterrupted execution.
+
+Run with:  python examples/scenario_sweep.py --store /tmp/sweep-store --n 12
+"""
+
+from __future__ import annotations
+
+import argparse
+
+import numpy as np
+
+from repro.experiments.campaign import AttackerKind, CampaignConfig, run_campaigns
+from repro.experiments.store import ExperimentStore, config_hash
+from repro.sim.config import SimulationConfig
+from repro.sim.sweeps import ParameterSpace, Uniform, sweep_campaigns
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--store", required=True, help="experiment-store root directory")
+    parser.add_argument("--scenario", default="DS-1", help="scenario id to sweep")
+    parser.add_argument("--n", type=int, default=12, help="Latin-hypercube sweep points")
+    parser.add_argument("--runs", type=int, default=2, help="runs per sweep point")
+    parser.add_argument(
+        "--jobs", type=int, default=0,
+        help="worker processes (0/1 = serial, -1 = all CPUs)",
+    )
+    args = parser.parse_args()
+
+    space = ParameterSpace(
+        {
+            "variation.lead_gap_offset_m": Uniform(-8.0, 8.0),
+            "variation.ego_speed_scale": Uniform(0.95, 1.05),
+            # Fog axis: widen the detector's centre noise up to 2x.
+            "detector.sigma_scale": Uniform(1.0, 2.0),
+        }
+    )
+    base = CampaignConfig(
+        campaign_id=f"{args.scenario}-sweep",
+        scenario_id=args.scenario,
+        attacker=AttackerKind.NONE,
+        n_runs=args.runs,
+        seed=2020,
+        # Short benign runs keep the example quick; drop the override for
+        # full-length campaigns.
+        simulation=SimulationConfig(max_duration_s=8.0),
+    )
+    configs = sweep_campaigns(base, space, sampler="lhs", n=args.n, seed=0)
+
+    store = ExperimentStore(args.store)
+    print(f"Sweeping {len(configs)} points x {args.runs} runs into {args.store} ...")
+    run_campaigns(configs, store=store, executor=args.jobs)
+
+    print("\ngap offset |  speed scale | fog sigma | mean min-delta (m)")
+    print("-" * 62)
+    for config in configs:
+        records = store.load_records(config_hash(config), with_traces=False)
+        min_deltas = [
+            r.result.min_true_delta_m
+            for r in records
+            if np.isfinite(r.result.min_true_delta_m)
+        ]
+        mean_delta = float(np.mean(min_deltas)) if min_deltas else float("nan")
+        variation = config.variation
+        degradation = config.detector_degradation
+        print(
+            f"{variation.lead_gap_offset_m:+10.2f} | {variation.ego_speed_scale:12.3f} "
+            f"| {degradation.sigma_scale:9.2f} | {mean_delta:10.2f}"
+        )
+
+    print(
+        f"\n{sum(1 for _ in store.iter_records())} runs durably recorded; "
+        "interrupt and re-run this script (or `repro-campaign resume`) to see "
+        "resume-from-checkpoint in action."
+    )
+
+
+if __name__ == "__main__":
+    main()

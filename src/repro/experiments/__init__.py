@@ -10,6 +10,9 @@ This package regenerates every table and figure of the paper's evaluation
   golden runs);
 * :mod:`repro.experiments.results` / :mod:`repro.experiments.metrics` — per-run
   records and campaign aggregation (emergency-braking and crash rates);
+* :mod:`repro.experiments.store` — the durable, append-only experiment store
+  (per-run JSONL records + NPZ traces, content-addressed by config hash) that
+  makes campaigns resumable and their statistics queryable after the fact;
 * :mod:`repro.experiments.tables` — Table I and Table II;
 * :mod:`repro.experiments.figures` — Fig. 6 (safety-potential boxplots),
   Fig. 7 (K' distributions), and Fig. 8 (safety-hijacker prediction quality).
@@ -22,8 +25,11 @@ from repro.experiments.campaign import (
     clear_caches,
     get_or_train_predictor,
     run_campaign,
+    run_campaigns,
     run_single_experiment,
+    run_single_experiment_record,
 )
+from repro.experiments.store import ExperimentStore, RunRecord, config_hash
 from repro.experiments.characterization import CharacterizationReport, characterize_detector
 from repro.experiments.figures import (
     Fig6Panel,
@@ -50,7 +56,12 @@ __all__ = [
     "clear_caches",
     "get_or_train_predictor",
     "run_campaign",
+    "run_campaigns",
     "run_single_experiment",
+    "run_single_experiment_record",
+    "ExperimentStore",
+    "RunRecord",
+    "config_hash",
     "CharacterizationReport",
     "characterize_detector",
     "Fig6Panel",

@@ -20,10 +20,12 @@ persist them across processes and sessions).
 
 from __future__ import annotations
 
+import dataclasses
 import enum
 import functools
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -40,6 +42,8 @@ from repro.core.safety_hijacker import (
 )
 from repro.core.training import collect_safety_dataset, train_neural_safety_predictor
 from repro.experiments.results import CampaignResult, RunResult
+from repro.experiments.store import ExperimentStore, RunRecord, config_hash
+from repro.perception.detection import DetectorDegradation
 from repro.perception.pipeline import PerceptionConfig
 from repro.sim.actors import ActorKind
 from repro.runtime import ArtifactCache, Executor, ExecutorLike, resolve_executor
@@ -51,13 +55,25 @@ __all__ = [
     "AttackerKind",
     "PredictorKind",
     "CampaignConfig",
+    "StoreLike",
     "run_single_experiment",
+    "run_single_experiment_record",
     "run_campaign",
     "run_campaigns",
     "get_or_train_predictor",
     "training_grid_for",
     "clear_caches",
 ]
+
+#: Anything the ``store=`` knobs accept: a store instance or its root path.
+StoreLike = Union[ExperimentStore, str, Path, None]
+
+
+def resolve_store(store: StoreLike) -> Optional[ExperimentStore]:
+    """Coerce a store spec (instance, root path, or ``None``) to a store."""
+    if store is None or isinstance(store, ExperimentStore):
+        return store
+    return ExperimentStore(store)
 
 
 class AttackerKind(enum.Enum):
@@ -134,6 +150,13 @@ class CampaignConfig:
     #: Epochs used when training the neural predictor for this campaign.
     training_epochs: int = 200
     simulation: SimulationConfig = field(default_factory=SimulationConfig)
+    #: Pin every run of the campaign to this exact initial-condition variation
+    #: (``None`` = sample a fresh variation per run, the Monte-Carlo default).
+    #: Sweeps pin variations to probe specific points of the perturbation space.
+    variation: Optional[ScenarioVariation] = None
+    #: Degrade the scenario's camera detector (fog/low-light sweeps); ``None``
+    #: keeps whatever detector the scenario itself prescribes.
+    detector_degradation: Optional[DetectorDegradation] = None
 
     def __post_init__(self) -> None:
         if self.n_runs <= 0:
@@ -144,7 +167,8 @@ class CampaignConfig:
     def cache_key(self) -> Tuple:
         # Every field that changes the campaign's results belongs here: with
         # the disk cache enabled, two configs differing only in training
-        # epochs or simulation parameters must never shadow each other.
+        # epochs or simulation parameters must never shadow each other.  The
+        # experiment store's content address is derived from this same key.
         return (
             self.campaign_id,
             self.scenario_id,
@@ -155,6 +179,56 @@ class CampaignConfig:
             self.predictor,
             self.training_epochs,
             self.simulation,
+            self.variation,
+            self.detector_degradation,
+        )
+
+    # ------------------------------------------------------------------ #
+    # JSON round-trip — the experiment-store manifest format
+    # ------------------------------------------------------------------ #
+
+    def to_json_dict(self) -> Dict[str, object]:
+        """A JSON-safe dict that :meth:`from_json_dict` inverts losslessly."""
+        return {
+            "campaign_id": self.campaign_id,
+            "scenario_id": self.scenario_id,
+            "attacker": self.attacker.value,
+            "vector": self.vector.name if self.vector is not None else None,
+            "n_runs": self.n_runs,
+            "seed": self.seed,
+            "predictor": self.predictor.value,
+            "training_epochs": self.training_epochs,
+            "simulation": dataclasses.asdict(self.simulation),
+            "variation": (
+                dataclasses.asdict(self.variation) if self.variation is not None else None
+            ),
+            "detector_degradation": (
+                dataclasses.asdict(self.detector_degradation)
+                if self.detector_degradation is not None
+                else None
+            ),
+        }
+
+    @staticmethod
+    def from_json_dict(payload: Dict[str, object]) -> "CampaignConfig":
+        """Reconstruct a config from :meth:`to_json_dict` output."""
+        vector = payload["vector"]
+        variation = payload.get("variation")
+        degradation = payload.get("detector_degradation")
+        return CampaignConfig(
+            campaign_id=str(payload["campaign_id"]),
+            scenario_id=str(payload["scenario_id"]),
+            attacker=AttackerKind(payload["attacker"]),
+            vector=AttackVector[str(vector)] if vector else None,
+            n_runs=int(payload["n_runs"]),
+            seed=int(payload["seed"]),
+            predictor=PredictorKind(payload["predictor"]),
+            training_epochs=int(payload["training_epochs"]),
+            simulation=SimulationConfig(**payload["simulation"]),  # type: ignore[arg-type]
+            variation=ScenarioVariation(**variation) if variation else None,
+            detector_degradation=(
+                DetectorDegradation(**degradation) if degradation else None
+            ),
         )
 
 
@@ -283,12 +357,12 @@ def _true_delta_at_attack_end(
     return float(trace[index])
 
 
-def run_single_experiment(
+def run_single_experiment_record(
     config: CampaignConfig,
     run_index: int,
     predictor: Optional[SafetyPredictor] = None,
-) -> RunResult:
-    """Execute one seeded run of a campaign and summarize it.
+) -> RunRecord:
+    """Execute one seeded run and flatten it into a durable :class:`RunRecord`.
 
     ``predictor`` lets the campaign runner pre-train the safety-potential
     oracle in the parent process and ship it to worker processes; when omitted
@@ -296,8 +370,13 @@ def run_single_experiment(
     """
     run_seed = int(np.random.SeedSequence([config.seed, run_index]).generate_state(1)[0])
     rng = np.random.default_rng(run_seed)
-    variation = ScenarioVariation.sample(rng)
+    if config.variation is not None:
+        variation = config.variation
+    else:
+        variation = ScenarioVariation.sample(rng)
     scenario = build_scenario(config.scenario_id, variation)
+    if config.detector_degradation is not None and not config.detector_degradation.is_identity():
+        scenario.detector_config = config.detector_degradation.apply(scenario.detector_config)
     ads = build_ads_agent(scenario, np.random.default_rng(int(rng.integers(0, 2**31 - 1))))
     attacker = _build_attacker(
         config,
@@ -317,7 +396,7 @@ def run_single_experiment(
     record = attacker.record if attacker is not None else None
     min_delta = result.min_true_delta_from_attack()
     accident = result.accident_occurred(config.simulation.halt_gap_m)
-    return RunResult(
+    run_result = RunResult(
         run_index=run_index,
         seed=run_seed,
         scenario_id=config.scenario_id,
@@ -340,6 +419,36 @@ def run_single_experiment(
             else float("nan")
         ),
     )
+    events = tuple(
+        (event.kind.value, event.step_index, event.time_s, dict(event.details))
+        for event in result.events.events
+    )
+    return RunRecord(
+        config_hash=config_hash(config),
+        campaign_id=config.campaign_id,
+        run_index=run_index,
+        seed=run_seed,
+        variation=variation,
+        result=run_result,
+        steps_executed=result.steps_executed,
+        duration_s=result.duration_s,
+        halted_on_collision=result.halted_on_collision,
+        events=events,
+        true_delta_trace=np.asarray(result.events.true_delta_trace, dtype=np.float64),
+        perceived_delta_trace=np.asarray(
+            result.events.perceived_delta_trace, dtype=np.float64
+        ),
+        ego_speed_trace=np.asarray(result.events.ego_speed_trace, dtype=np.float64),
+    )
+
+
+def run_single_experiment(
+    config: CampaignConfig,
+    run_index: int,
+    predictor: Optional[SafetyPredictor] = None,
+) -> RunResult:
+    """Execute one seeded run of a campaign and summarize it."""
+    return run_single_experiment_record(config, run_index, predictor=predictor).result
 
 
 def _prepare_predictor(config: CampaignConfig) -> Optional[SafetyPredictor]:
@@ -359,10 +468,49 @@ def _prepare_predictor(config: CampaignConfig) -> Optional[SafetyPredictor]:
     )
 
 
+def _run_campaign_checkpointed(
+    config: CampaignConfig,
+    store: ExperimentStore,
+    executor: ExecutorLike,
+) -> CampaignResult:
+    """Stream a campaign's runs into the store, skipping already-stored ones.
+
+    Each run record is appended to the store *as it completes* (order-tagged
+    streaming over :meth:`Executor.imap`), so a killed campaign loses at most
+    the runs in flight.  On restart, the stored (config-hash, run-index)
+    pairs are skipped, and because every run is independently seeded from
+    ``(campaign_seed, run_index)``, the merged statistics are bit-identical
+    to an uninterrupted serial campaign.
+    """
+    store.write_manifest(config)
+    done = store.run_indices(config_hash(config))
+    pending = [index for index in range(config.n_runs) if index not in done]
+    if pending:
+        predictor = _prepare_predictor(config)
+        resolved = resolve_executor(executor)
+        worker = functools.partial(
+            run_single_experiment_record, config, predictor=predictor
+        )
+        try:
+            for _, record in resolved.imap(worker, pending):
+                store.append(record)
+        finally:
+            if resolved is not executor:
+                resolved.close()
+    campaign = store.campaign_result(config, allow_partial=True)
+    if campaign.n_runs != config.n_runs:  # pragma: no cover - store invariant
+        raise RuntimeError(
+            f"campaign {config.campaign_id!r} has {campaign.n_runs} stored runs, "
+            f"expected {config.n_runs}"
+        )
+    return campaign
+
+
 def run_campaign(
     config: CampaignConfig,
     use_cache: bool = True,
     executor: ExecutorLike = None,
+    store: StoreLike = None,
 ) -> CampaignResult:
     """Execute all runs of a campaign, optionally fanning out over processes.
 
@@ -371,7 +519,16 @@ def run_campaign(
     :class:`~repro.runtime.executor.Executor` instance to share a worker pool
     across campaigns.  Results are cached per process (and on disk when a
     cache directory is configured).
+
+    ``store`` (an :class:`~repro.experiments.store.ExperimentStore` or its
+    root path) switches the campaign to the durable, resumable path: every
+    run is checkpointed to the store as it completes, already-stored runs are
+    skipped, and the opaque pickle cache is bypassed — the store *is* the
+    durable record.
     """
+    resolved_store = resolve_store(store)
+    if resolved_store is not None:
+        return _run_campaign_checkpointed(config, resolved_store, executor)
     key = config.cache_key()
     if use_cache:
         cached = _CAMPAIGN_CACHE.get(key)
@@ -404,12 +561,16 @@ def run_campaigns(
     configs: Sequence[CampaignConfig],
     use_cache: bool = True,
     executor: ExecutorLike = None,
+    store: StoreLike = None,
 ) -> List[CampaignResult]:
     """Execute several campaigns, sharing one executor (and its worker pool)."""
+    resolved_store = resolve_store(store)
     resolved = resolve_executor(executor)
     try:
         return [
-            run_campaign(config, use_cache=use_cache, executor=resolved)
+            run_campaign(
+                config, use_cache=use_cache, executor=resolved, store=resolved_store
+            )
             for config in configs
         ]
     finally:

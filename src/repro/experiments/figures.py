@@ -18,6 +18,7 @@ from repro.core.safety_hijacker import NeuralSafetyPredictor, SafetyPredictor
 from repro.core.training import SafetyDataset
 from repro.experiments.campaign import CampaignConfig, run_campaigns
 from repro.experiments.results import CampaignResult, RunResult
+from repro.experiments.store import ExperimentStore
 from repro.runtime import ExecutorLike
 from repro.sim.actors import ActorKind
 from repro.utils.stats import BoxplotStats, boxplot_stats
@@ -28,8 +29,10 @@ __all__ = [
     "Fig8Data",
     "fig6_panels",
     "fig6_panels_from_configs",
+    "fig6_panels_from_store",
     "fig7_panels",
     "fig7_panels_from_configs",
+    "fig7_panels_from_store",
     "fig8_data",
 ]
 
@@ -114,6 +117,23 @@ def fig6_panels_from_configs(
     return fig6_panels(results[: len(with_sh)], results[len(with_sh):])
 
 
+def fig6_panels_from_store(
+    store: ExperimentStore,
+    with_sh: Sequence[CampaignConfig],
+    without_sh: Sequence[CampaignConfig],
+    allow_partial: bool = False,
+) -> List[Fig6Panel]:
+    """Build Fig. 6 panels from durably stored runs — no re-simulation.
+
+    Incomplete campaigns raise unless ``allow_partial=True`` (a min-δ
+    distribution over a partial run set is a silently skewed boxplot).
+    """
+    return fig6_panels(
+        [store.campaign_result(c, allow_partial=allow_partial) for c in with_sh],
+        [store.campaign_result(c, allow_partial=allow_partial) for c in without_sh],
+    )
+
+
 def fig7_panels(campaigns: Sequence[CampaignResult]) -> List[Fig7Panel]:
     """Group per-run K' values by target class and attack vector (Fig. 7)."""
     by_kind: Dict[ActorKind, Dict[str, List[float]]] = {
@@ -150,6 +170,27 @@ def fig7_panels_from_configs(
 ) -> List[Fig7Panel]:
     """Execute the campaigns (optionally in parallel) and build Fig. 7."""
     return fig7_panels(run_campaigns(configs, use_cache=use_cache, executor=executor))
+
+
+def fig7_panels_from_store(
+    store: ExperimentStore,
+    configs: Optional[Sequence[CampaignConfig]] = None,
+    allow_partial: bool = False,
+) -> List[Fig7Panel]:
+    """Build Fig. 7 panels from durably stored runs — no re-simulation.
+
+    By default every campaign recorded in the store contributes its launched
+    runs; ``configs`` narrows the selection.  Incomplete campaigns raise
+    unless ``allow_partial=True``.
+    """
+    if configs is None:
+        results = store.campaign_results(allow_partial=allow_partial)
+    else:
+        results = [
+            store.campaign_result(config, allow_partial=allow_partial)
+            for config in configs
+        ]
+    return fig7_panels(results)
 
 
 def fig8_data(

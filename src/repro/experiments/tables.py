@@ -18,6 +18,7 @@ from repro.core.scenario_matcher import ScenarioMatcher
 from repro.experiments.campaign import CampaignConfig, run_campaigns
 from repro.experiments.metrics import CampaignSummary, combined_rates, summarize_campaign
 from repro.experiments.results import CampaignResult
+from repro.experiments.store import ExperimentStore
 from repro.perception.transforms import WorldObjectEstimate
 from repro.runtime import ExecutorLike
 from repro.sim.actors import ActorKind
@@ -29,6 +30,7 @@ __all__ = [
     "table1_rows",
     "table2_rows",
     "table2_from_configs",
+    "table2_from_store",
     "headline_findings",
 ]
 
@@ -133,6 +135,31 @@ def table2_from_configs(
     ``configs`` — the parallel path for regenerating the whole table.
     """
     return table2_rows(run_campaigns(configs, use_cache=use_cache, executor=executor))
+
+
+def table2_from_store(
+    store: ExperimentStore,
+    configs: Optional[Sequence[CampaignConfig]] = None,
+    allow_partial: bool = False,
+) -> List[Table2Row]:
+    """Build Table II rows from durably stored runs — no re-simulation.
+
+    ``configs`` selects (and orders) specific campaigns; by default every
+    campaign recorded in the store contributes a row.  Campaigns whose runs
+    were produced by ``repro-campaign`` with ``--store`` (or any
+    ``run_campaign(..., store=...)`` call) are read back from JSONL instead
+    of being recomputed from in-memory lists or opaque pickles.  Incomplete
+    (interrupted, not yet resumed) campaigns raise rather than contributing
+    rates computed over a partial run set, unless ``allow_partial=True``.
+    """
+    if configs is None:
+        results = store.campaign_results(allow_partial=allow_partial)
+    else:
+        results = [
+            store.campaign_result(config, allow_partial=allow_partial)
+            for config in configs
+        ]
+    return table2_rows(results)
 
 
 def headline_findings(

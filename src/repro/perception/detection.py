@@ -19,6 +19,7 @@ paper relies on for evading the intrusion-detection system.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 from typing import Dict, List
 
@@ -28,7 +29,13 @@ from repro.geometry import BoundingBox
 from repro.sensors.camera import CameraFrame
 from repro.sim.actors import ActorKind
 
-__all__ = ["Detection", "DetectorNoiseModel", "DetectorConfig", "SimulatedDetector"]
+__all__ = [
+    "Detection",
+    "DetectorNoiseModel",
+    "DetectorConfig",
+    "DetectorDegradation",
+    "SimulatedDetector",
+]
 
 
 @dataclass(frozen=True)
@@ -133,6 +140,61 @@ class DetectorConfig:
     def noise_for(self, kind: ActorKind) -> DetectorNoiseModel:
         """Noise model for an object class."""
         return self.vehicle_noise if kind is ActorKind.VEHICLE else self.pedestrian_noise
+
+
+@dataclass(frozen=True)
+class DetectorDegradation:
+    """A parametric weather/visibility degradation applied to a detector.
+
+    Each factor scales one aspect of the base :class:`DetectorConfig` (both
+    object classes degrade together, as fog or low light affects the whole
+    image).  The identity degradation (all factors 1.0) returns a config equal
+    to the base, so sweep axes can include the undegraded detector.
+
+    * ``sigma_scale`` widens the bounding-box centre noise;
+    * ``misdetection_scale`` multiplies the per-frame burst start probability;
+    * ``burst_scale`` stretches the 99th percentile of burst lengths;
+    * ``range_scale`` divides the usable detection range: boxes must be
+      ``range_scale`` times taller before the detector reports them.
+    """
+
+    sigma_scale: float = 1.0
+    misdetection_scale: float = 1.0
+    burst_scale: float = 1.0
+    range_scale: float = 1.0
+
+    def __post_init__(self) -> None:
+        for name in ("sigma_scale", "misdetection_scale", "burst_scale", "range_scale"):
+            if getattr(self, name) <= 0:
+                raise ValueError(f"{name} must be positive")
+
+    def is_identity(self) -> bool:
+        return self == DetectorDegradation()
+
+    def _degrade_noise(self, noise: DetectorNoiseModel) -> DetectorNoiseModel:
+        # dataclasses.replace keeps any fields this degradation does not
+        # touch (including ones added later) at the base model's values.
+        return dataclasses.replace(
+            noise,
+            center_noise_sigma_x=noise.center_noise_sigma_x * self.sigma_scale,
+            center_noise_sigma_y=noise.center_noise_sigma_y * self.sigma_scale,
+            misdetection_start_probability=min(
+                0.99, noise.misdetection_start_probability * self.misdetection_scale
+            ),
+            misdetection_burst_p99_frames=max(
+                1.0, noise.misdetection_burst_p99_frames * self.burst_scale
+            ),
+        )
+
+    def apply(self, base: "DetectorConfig | None" = None) -> DetectorConfig:
+        """Degrade ``base`` (the default detector when ``None``)."""
+        base = base or DetectorConfig()
+        return dataclasses.replace(
+            base,
+            vehicle_noise=self._degrade_noise(base.vehicle_noise),
+            pedestrian_noise=self._degrade_noise(base.pedestrian_noise),
+            min_bbox_height_px=base.min_bbox_height_px * self.range_scale,
+        )
 
 
 class SimulatedDetector:

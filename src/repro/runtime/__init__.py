@@ -23,6 +23,8 @@ from repro.runtime.cache import ArtifactCache, default_cache_dir
 from repro.runtime.executor import (
     Executor,
     ExecutorLike,
+    FaultInjectingExecutor,
+    InjectedFault,
     ParallelExecutor,
     SerialExecutor,
     available_cpus,
@@ -35,6 +37,8 @@ __all__ = [
     "default_cache_dir",
     "Executor",
     "ExecutorLike",
+    "FaultInjectingExecutor",
+    "InjectedFault",
     "ParallelExecutor",
     "SerialExecutor",
     "available_cpus",

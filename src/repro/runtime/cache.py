@@ -28,7 +28,7 @@ import tempfile
 from pathlib import Path
 from typing import Any, Callable, Dict, Optional, TypeVar, Union
 
-__all__ = ["ArtifactCache", "encode_key", "default_cache_dir"]
+__all__ = ["ArtifactCache", "atomic_publish", "encode_key", "default_cache_dir"]
 
 T = TypeVar("T")
 
@@ -42,6 +42,42 @@ def default_cache_dir() -> Optional[Path]:
     """The disk-cache root configured via ``REPRO_CACHE_DIR``, if any."""
     value = os.environ.get(_CACHE_DIR_ENV)
     return Path(value).expanduser() if value else None
+
+
+def atomic_publish(path: Path, write: Callable[[Any], None], durable: bool = False) -> None:
+    """Atomically publish a file: write a temp sibling, then rename over ``path``.
+
+    Concurrent writers race benignly (last one wins, readers always see a
+    complete file) and a failure cleans up the temp file.  ``durable=True``
+    additionally fsyncs the data before the rename and the directory after
+    it — the ordering the experiment store's write-ahead discipline relies
+    on ("a log line implies its payload file exists after a crash").
+    """
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp_name = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            write(handle)
+            if durable:
+                handle.flush()
+                os.fsync(handle.fileno())
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+    if durable:
+        try:  # pragma: no cover - platform-dependent; directory fsync is
+            # best-effort (not supported everywhere, e.g. Windows).
+            dir_fd = os.open(path.parent, os.O_RDONLY)
+            try:
+                os.fsync(dir_fd)
+            finally:
+                os.close(dir_fd)
+        except OSError:
+            pass
 
 
 def encode_key(key: Any) -> str:
@@ -132,20 +168,10 @@ class ArtifactCache:
         path = self._path_for(encoded)
         if path is None:
             return
-        path.parent.mkdir(parents=True, exist_ok=True)
-        # Atomic publish: concurrent writers race benignly (last one wins,
-        # readers always see a complete file).
-        fd, tmp_name = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
-        try:
-            with os.fdopen(fd, "wb") as handle:
-                pickle.dump(value, handle, protocol=pickle.HIGHEST_PROTOCOL)
-            os.replace(tmp_name, path)
-        except BaseException:
-            try:
-                os.unlink(tmp_name)
-            except OSError:
-                pass
-            raise
+        atomic_publish(
+            path,
+            lambda handle: pickle.dump(value, handle, protocol=pickle.HIGHEST_PROTOCOL),
+        )
 
     # ------------------------------------------------------------------ #
     # Core API

@@ -1,19 +1,29 @@
 """The ``repro-campaign`` console entry point.
 
 Runs seeded experiment campaigns from the command line, with parallel
-execution (``--jobs``), disk-backed artifact caching (``--cache-dir``), and
-the full scenario catalog (``--list-scenarios``).  Two modes:
+execution (``--jobs``), disk-backed artifact caching (``--cache-dir``),
+durable per-run recording (``--store``), and the full scenario catalog
+(``--list-scenarios``).  Modes:
 
 * the default reproduces the paper's Table II evaluation: the six RoboTack
   campaigns plus the DS-5 random baseline, printing the reproduced table and
   the §I headline findings;
 * ``--scenario DS-6 --attacker robotack --vector disappear`` runs a single
-  custom campaign against any registered scenario and prints its summary row.
+  custom campaign against any registered scenario and prints its summary row;
+* ``sweep`` expands a declarative parameter space (``--param`` axes over
+  ``variation.*`` / ``simulation.*`` / ``detector.*``) into one campaign per
+  sweep point and records every run in the experiment store;
+* ``resume`` finishes every interrupted campaign found in a store — the
+  resumed statistics are bit-identical to an uninterrupted run.
 
 Examples::
 
     repro-campaign --runs 30 --jobs 4
     repro-campaign --scenario DS-7 --attacker robotack --vector disappear --jobs -1
+    repro-campaign --scenario DS-1 --attacker none --store runs/ --runs 50
+    repro-campaign sweep --scenario DS-1 --store runs/ --sampler lhs --n 50 \\
+        --param variation.lead_gap_offset_m=-8:8 --param detector.sigma_scale=1:2
+    repro-campaign resume --store runs/ --jobs -1
     repro-campaign --list-scenarios
 """
 
@@ -26,56 +36,202 @@ from typing import List, Optional, Sequence
 __all__ = ["main", "build_parser"]
 
 
+class _TrackedStore(argparse.Action):
+    """``store`` action that records which dests the user explicitly set.
+
+    The subcommands re-declare several top-level flag names; knowing which
+    top-level flags were *actually typed* (vs merely defaulted) lets main()
+    reject the ambiguous ``--runs 10 sweep ...`` form even when the typed
+    value coincides with the default.
+    """
+
+    def __call__(self, parser, namespace, values, option_string=None):
+        setattr(namespace, self.dest, values)
+        _mark_provided(namespace, self.dest)
+
+
+class _TrackedStoreTrue(argparse.Action):
+    def __init__(self, option_strings, dest, **kwargs):
+        super().__init__(option_strings, dest, nargs=0, const=True, default=False, **kwargs)
+
+    def __call__(self, parser, namespace, values, option_string=None):
+        setattr(namespace, self.dest, True)
+        _mark_provided(namespace, self.dest)
+
+
+def _mark_provided(namespace: argparse.Namespace, dest: str) -> None:
+    # The set lives on the namespace (never as a parser default): a default
+    # would be one shared instance mutated across parse_args calls.
+    provided = getattr(namespace, "_provided", None)
+    if provided is None:
+        provided = set()
+        setattr(namespace, "_provided", provided)
+    provided.add(dest)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-campaign",
         description=__doc__,
         formatter_class=argparse.RawDescriptionHelpFormatter,
     )
-    parser.add_argument("--runs", type=int, default=10, help="simulation runs per campaign")
-    parser.add_argument("--seed", type=int, default=2020, help="root seed for the campaigns")
+    parser.add_argument("--runs", type=int, default=10, action=_TrackedStore,
+                        help="simulation runs per campaign")
+    parser.add_argument("--seed", type=int, default=2020, action=_TrackedStore,
+                        help="root seed for the campaigns")
     parser.add_argument(
         "--jobs",
         type=int,
         default=0,
+        action=_TrackedStore,
         help="worker processes (0/1 = serial, -1 = all CPUs)",
     )
     parser.add_argument(
         "--cache-dir",
         default=None,
+        action=_TrackedStore,
         help="persist trained predictors and campaign results under this directory",
+    )
+    parser.add_argument(
+        "--store",
+        default=None,
+        action=_TrackedStore,
+        help="experiment-store root: durably record every run and make the "
+        "campaign resumable",
     )
     parser.add_argument(
         "--scenario",
         default=None,
+        action=_TrackedStore,
         help="run one campaign against this scenario instead of the Table II suite",
     )
     parser.add_argument(
         "--attacker",
         default="robotack",
+        action=_TrackedStore,
         help="attacker kind for --scenario mode (robotack, robotack_no_sh, random, none)",
     )
     parser.add_argument(
         "--vector",
         default=None,
+        action=_TrackedStore,
         help="attack vector for --scenario mode (disappear, move_out, move_in)",
     )
     parser.add_argument(
         "--predictor",
         default="neural",
+        action=_TrackedStore,
         help="safety-potential oracle (neural, kinematic)",
     )
     parser.add_argument(
         "--no-cache",
-        action="store_true",
+        action=_TrackedStoreTrue,
         help="bypass the campaign result cache (predictors are still reused)",
     )
     parser.add_argument(
         "--list-scenarios",
-        action="store_true",
+        action=_TrackedStoreTrue,
         help="print the registered scenario catalog and exit",
     )
+
+    subparsers = parser.add_subparsers(dest="command")
+
+    sweep = subparsers.add_parser(
+        "sweep",
+        help="expand a declarative parameter space into campaigns and run them",
+        description=(
+            "Expand a parameter space over variation.*, simulation.*, and "
+            "detector.* axes into one campaign per sweep point, execute the "
+            "batch, and durably record every run in the experiment store."
+        ),
+    )
+    # Subcommand flags share names with the top-level flags but get their
+    # own dests ("sub_*"): argparse would otherwise let the subparser's
+    # defaults silently clobber values the user set before the subcommand.
+    # main() remaps them after rejecting that ambiguous mixed form outright.
+    sweep.add_argument("--scenario", dest="sub_scenario", required=True,
+                       help="scenario id to sweep")
+    sweep.add_argument("--store", dest="sub_store", required=True,
+                       help="experiment-store root")
+    sweep.add_argument(
+        "--attacker",
+        dest="sub_attacker",
+        default="none",
+        help="attacker kind for every sweep point (default: none = golden runs)",
+    )
+    sweep.add_argument("--vector", dest="sub_vector", default=None,
+                       help="attack vector (robotack modes)")
+    sweep.add_argument("--predictor", dest="sub_predictor", default="neural",
+                       help="safety oracle kind")
+    sweep.add_argument("--runs", dest="sub_runs", type=int, default=3,
+                       help="runs per sweep point")
+    sweep.add_argument("--seed", dest="sub_seed", type=int, default=2020,
+                       help="root seed per campaign")
+    sweep.add_argument(
+        "--sampler",
+        default="lhs",
+        choices=("grid", "random", "lhs"),
+        help="how to sample the space (grid size = product of axis grid points)",
+    )
+    sweep.add_argument(
+        "--n", type=int, default=50, help="number of sweep points (random/lhs)"
+    )
+    sweep.add_argument(
+        "--sweep-seed", type=int, default=0, help="seed of the space sampler itself"
+    )
+    sweep.add_argument(
+        "--param",
+        action="append",
+        default=None,
+        metavar="PATH=SPEC",
+        help="axis as namespace.field=low:high[:points] or =v1,v2,... "
+        "(repeatable; default: the ScenarioVariation sampling ranges)",
+    )
+    sweep.add_argument("--jobs", dest="sub_jobs", type=int, default=0,
+                       help="worker processes (0/1 serial, -1 all CPUs)")
+    sweep.add_argument(
+        "--dry-run",
+        action="store_true",
+        help="print the expanded sweep points without executing them",
+    )
+
+    resume = subparsers.add_parser(
+        "resume",
+        help="finish every interrupted campaign recorded in an experiment store",
+        description=(
+            "Scan the store manifests for campaigns with missing run indices, "
+            "execute only the missing runs, and print the merged summaries — "
+            "bit-identical to campaigns that were never interrupted."
+        ),
+    )
+    resume.add_argument("--store", dest="sub_store", required=True,
+                       help="experiment-store root")
+    resume.add_argument("--jobs", dest="sub_jobs", type=int, default=0,
+                       help="worker processes (0/1 serial, -1 all CPUs)")
     return parser
+
+
+def _adopt_subcommand_args(args: argparse.Namespace) -> None:
+    """Reject pre-subcommand top-level flags, then canonicalize ``sub_*`` dests.
+
+    ``repro-campaign --runs 5 sweep ...`` is ambiguous (argparse would let the
+    sweep's own ``--runs`` default win silently); fail loudly and tell the
+    user where the flag belongs — even when the typed value equals the
+    default (the tracked actions record what was actually provided).  Flags
+    the subcommand does not declare at all (e.g. ``--cache-dir``) are
+    rejected for the same reason.
+    """
+    provided = sorted(getattr(args, "_provided", set()))
+    if provided:
+        flags = ", ".join("--" + name.replace("_", "-") for name in provided)
+        raise SystemExit(
+            f"{flags}: pass options after the {args.command!r} subcommand "
+            f"(e.g. repro-campaign {args.command} {flags.split(',')[0]} ...)"
+        )
+    for name in ("scenario", "store", "attacker", "vector", "predictor",
+                 "runs", "seed", "jobs"):
+        if hasattr(args, "sub_" + name):
+            setattr(args, name, getattr(args, "sub_" + name))
 
 
 def _print_scenarios() -> None:
@@ -101,7 +257,9 @@ def _run_table2_suite(args: argparse.Namespace) -> None:
         f"Running {len(configs)} campaigns x {args.runs} runs "
         f"(jobs={args.jobs}, seed={args.seed}) ..."
     )
-    results = run_campaigns(configs, use_cache=not args.no_cache, executor=args.jobs)
+    results = run_campaigns(
+        configs, use_cache=not args.no_cache, executor=args.jobs, store=args.store
+    )
     print("\n=== Table II (reproduced) ===")
     for campaign in results:
         print(summarize_campaign(campaign).format_row())
@@ -116,15 +274,10 @@ def _run_table2_suite(args: argparse.Namespace) -> None:
     )
 
 
-def _run_single_campaign(args: argparse.Namespace) -> None:
+def _parse_campaign_kinds(args: argparse.Namespace):
+    """Validate/convert the (scenario, attacker, vector, predictor) flags."""
     from repro.core.attack_vectors import AttackVector
-    from repro.experiments.campaign import (
-        AttackerKind,
-        CampaignConfig,
-        PredictorKind,
-        run_campaign,
-    )
-    from repro.experiments.metrics import summarize_campaign
+    from repro.experiments.campaign import AttackerKind, PredictorKind
     from repro.sim.scenarios import list_scenario_ids
 
     if args.scenario not in list_scenario_ids():
@@ -156,7 +309,14 @@ def _run_single_campaign(args: argparse.Namespace) -> None:
             f"attacker {attacker.value!r} needs an attack vector; pass "
             f"--vector {{{', '.join(v.name.lower() for v in AttackVector)}}}"
         )
+    return attacker, vector, predictor
 
+
+def _run_single_campaign(args: argparse.Namespace) -> None:
+    from repro.experiments.campaign import CampaignConfig, run_campaign
+    from repro.experiments.metrics import summarize_campaign
+
+    attacker, vector, predictor = _parse_campaign_kinds(args)
     vector_label = vector.name.title() if vector is not None else attacker.value.title()
     config = CampaignConfig(
         campaign_id=f"{args.scenario}-{vector_label}-cli",
@@ -168,12 +328,88 @@ def _run_single_campaign(args: argparse.Namespace) -> None:
         predictor=predictor,
     )
     print(f"Running {config.campaign_id}: {args.runs} runs (jobs={args.jobs}) ...")
-    result = run_campaign(config, use_cache=not args.no_cache, executor=args.jobs)
+    result = run_campaign(
+        config, use_cache=not args.no_cache, executor=args.jobs, store=args.store
+    )
     print(summarize_campaign(result).format_row())
+
+
+def _run_sweep(args: argparse.Namespace) -> None:
+    from repro.experiments.campaign import CampaignConfig, run_campaigns
+    from repro.experiments.metrics import summarize_campaign
+    from repro.sim.sweeps import ParameterSpace, parse_axis, sweep_campaigns
+
+    attacker, vector, predictor = _parse_campaign_kinds(args)
+    space = None
+    if args.param:
+        try:
+            space = ParameterSpace(dict(parse_axis(axis) for axis in args.param))
+        except ValueError as error:
+            raise SystemExit(str(error)) from None
+    vector_label = vector.name.title() if vector is not None else attacker.value.title()
+    base = CampaignConfig(
+        campaign_id=f"{args.scenario}-{vector_label}-sweep",
+        scenario_id=args.scenario,
+        attacker=attacker,
+        vector=vector,
+        n_runs=args.runs,
+        seed=args.seed,
+        predictor=predictor,
+    )
+    try:
+        configs = sweep_campaigns(
+            base, space, sampler=args.sampler, n=args.n, seed=args.sweep_seed
+        )
+    except ValueError as error:
+        raise SystemExit(str(error)) from None
+    if args.dry_run:
+        print(f"Sweep of {len(configs)} points ({args.sampler}):")
+        for config in configs:
+            print(f"  {config.campaign_id}")
+        return
+    print(
+        f"Sweeping {len(configs)} points x {args.runs} runs "
+        f"({args.sampler}, jobs={args.jobs}) into {args.store} ..."
+    )
+    results = run_campaigns(configs, executor=args.jobs, store=args.store)
+    for result in results:
+        print(summarize_campaign(result).format_row())
+
+
+def _run_resume(args: argparse.Namespace) -> None:
+    from pathlib import Path
+
+    from repro.experiments.campaign import run_campaign
+    from repro.experiments.metrics import summarize_campaign
+    from repro.experiments.store import ExperimentStore
+    from repro.runtime.executor import resolve_executor
+
+    if not Path(args.store).expanduser().is_dir():
+        # A mistyped path must not masquerade as "every campaign complete".
+        raise SystemExit(f"no experiment store at {args.store!r} (directory not found)")
+    store = ExperimentStore(args.store)
+    worklist = store.incomplete_campaigns()
+    if not worklist:
+        print(f"Nothing to resume: every campaign in {args.store} is complete.")
+        return
+    executor = resolve_executor(args.jobs)
+    try:
+        for config, missing in worklist:
+            print(
+                f"Resuming {config.campaign_id}: "
+                f"{len(missing)} of {config.n_runs} runs missing ..."
+            )
+            result = run_campaign(config, executor=executor, store=store)
+            print(summarize_campaign(result).format_row())
+    finally:
+        executor.close()
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(list(argv) if argv is not None else None)
+
+    if args.command is not None:
+        _adopt_subcommand_args(args)
 
     if args.runs < 1:
         raise SystemExit("--runs must be a positive number of simulation runs")
@@ -189,7 +425,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
         set_cache_dir(args.cache_dir)
 
-    if args.scenario is not None:
+    if args.command == "sweep":
+        _run_sweep(args)
+    elif args.command == "resume":
+        _run_resume(args)
+    elif args.scenario is not None:
         _run_single_campaign(args)
     else:
         _run_table2_suite(args)

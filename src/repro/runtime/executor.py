@@ -18,13 +18,26 @@ from __future__ import annotations
 import abc
 import multiprocessing
 import os
-from concurrent.futures import ProcessPoolExecutor
-from typing import Any, Callable, Iterable, List, Optional, Sequence, TypeVar, Union
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from typing import (
+    Any,
+    Callable,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    TypeVar,
+    Union,
+)
 
 __all__ = [
     "Executor",
     "SerialExecutor",
     "ParallelExecutor",
+    "FaultInjectingExecutor",
+    "InjectedFault",
     "ExecutorLike",
     "resolve_executor",
     "available_cpus",
@@ -53,6 +66,18 @@ class Executor(abc.ABC):
     def map(self, fn: Callable[[T], R], items: Iterable[T]) -> List[R]:
         """Apply ``fn`` to every item and return the results in input order."""
 
+    def imap(self, fn: Callable[[T], R], items: Iterable[T]) -> Iterator[Tuple[int, R]]:
+        """Apply ``fn`` to every item, yielding ``(input_index, result)`` pairs.
+
+        Results stream back *as they complete* — the order of the yielded
+        pairs is backend-dependent, but every pair is tagged with the index of
+        its input item, so consumers that checkpoint or reassemble by index
+        (the resumable campaign runner) are backend-independent.  The default
+        implementation falls back to :meth:`map` (no streaming); Serial and
+        Parallel executors override it with genuinely incremental versions.
+        """
+        yield from enumerate(self.map(fn, items))
+
     def close(self) -> None:
         """Release any worker resources (idempotent)."""
 
@@ -68,6 +93,10 @@ class SerialExecutor(Executor):
 
     def map(self, fn: Callable[[T], R], items: Iterable[T]) -> List[R]:
         return [fn(item) for item in items]
+
+    def imap(self, fn: Callable[[T], R], items: Iterable[T]) -> Iterator[Tuple[int, R]]:
+        for index, item in enumerate(items):
+            yield index, fn(item)
 
     def __repr__(self) -> str:
         return "SerialExecutor()"
@@ -136,6 +165,29 @@ class ParallelExecutor(Executor):
             pool.map(fn, materialized, chunksize=self._chunksize_for(len(materialized)))
         )
 
+    def imap(self, fn: Callable[[T], R], items: Iterable[T]) -> Iterator[Tuple[int, R]]:
+        materialized: Sequence[T] = list(items)
+        if not materialized:
+            return
+        if len(materialized) == 1:
+            yield 0, fn(materialized[0])
+            return
+        pool = self._ensure_pool()
+        index_of = {
+            pool.submit(fn, item): index for index, item in enumerate(materialized)
+        }
+        pending = set(index_of)
+        try:
+            while pending:
+                done, pending = wait(pending, return_when=FIRST_COMPLETED)
+                for future in done:
+                    yield index_of[future], future.result()
+        finally:
+            # The consumer may abandon the stream (or a work item may raise);
+            # don't leave queued-but-unstarted futures behind in the pool.
+            for future in pending:
+                future.cancel()
+
     def close(self) -> None:
         if self._pool is not None:
             self._pool.shutdown(wait=True)
@@ -143,6 +195,49 @@ class ParallelExecutor(Executor):
 
     def __repr__(self) -> str:
         return f"ParallelExecutor(max_workers={self.max_workers})"
+
+
+class InjectedFault(RuntimeError):
+    """Raised by :class:`FaultInjectingExecutor` at its configured fail point."""
+
+
+class FaultInjectingExecutor(Executor):
+    """An executor that dies after a fixed number of completed work items.
+
+    A testing aid for crash/resume semantics: the first ``fail_after`` items
+    complete normally (and reach the consumer, so checkpoints land on disk),
+    then :class:`InjectedFault` is raised — simulating a campaign process
+    killed mid-flight without needing real signals.  The counter spans calls,
+    mirroring a single process crashing partway through a batch.
+    """
+
+    def __init__(self, fail_after: int, inner: Optional[Executor] = None):
+        if fail_after < 0:
+            raise ValueError("fail_after must be non-negative")
+        self.fail_after = fail_after
+        self.inner = inner or SerialExecutor()
+        self.completed = 0
+
+    def map(self, fn: Callable[[T], R], items: Iterable[T]) -> List[R]:
+        pairs = sorted(self.imap(fn, items))
+        return [result for _, result in pairs]
+
+    def imap(self, fn: Callable[[T], R], items: Iterable[T]) -> Iterator[Tuple[int, R]]:
+        for pair in self.inner.imap(fn, items):
+            if self.completed >= self.fail_after:
+                raise InjectedFault(
+                    f"injected fault after {self.completed} completed items"
+                )
+            self.completed += 1
+            yield pair
+
+    def close(self) -> None:
+        self.inner.close()
+
+    def __repr__(self) -> str:
+        return (
+            f"FaultInjectingExecutor(fail_after={self.fail_after}, inner={self.inner!r})"
+        )
 
 
 def resolve_executor(spec: ExecutorLike = None) -> Executor:

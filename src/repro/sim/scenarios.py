@@ -56,6 +56,7 @@ if TYPE_CHECKING:  # pragma: no cover - the sensing stack imports sim.actors,
     from repro.perception.detection import DetectorConfig
 
 __all__ = [
+    "VARIATION_SAMPLING_RANGES",
     "ScenarioVariation",
     "DrivingScenario",
     "ScenarioBuilder",
@@ -69,6 +70,20 @@ __all__ = [
 _EGO_START_X = 0.0
 #: Default cruise speed of the EV (paper: 45 kph unless otherwise specified).
 _DEFAULT_CRUISE_KPH = 45.0
+
+
+#: Uniform ranges the Monte-Carlo campaigns draw each variation field from
+#: (``ScenarioVariation.sample``).  The sweep engine's default parameter
+#: space (:func:`repro.sim.sweeps.default_variation_space`) is built from
+#: this same table, so systematic sweeps cover exactly the volume the random
+#: campaigns sample — adjust a range here and both stay in step.
+VARIATION_SAMPLING_RANGES: Dict[str, tuple] = {
+    "ego_speed_scale": (0.95, 1.05),
+    "lead_gap_offset_m": (-8.0, 8.0),
+    "lead_speed_offset_mps": (-0.8, 0.8),
+    "pedestrian_delay_s": (0.0, 1.5),
+    "pedestrian_speed_scale": (0.9, 1.15),
+}
 
 
 @dataclass(frozen=True)
@@ -85,12 +100,13 @@ class ScenarioVariation:
     @staticmethod
     def sample(rng: np.random.Generator) -> "ScenarioVariation":
         """Draw a random variation (used by experiment campaigns)."""
+        ranges = VARIATION_SAMPLING_RANGES
         return ScenarioVariation(
-            ego_speed_scale=float(rng.uniform(0.95, 1.05)),
-            lead_gap_offset_m=float(rng.uniform(-8.0, 8.0)),
-            lead_speed_offset_mps=float(rng.uniform(-0.8, 0.8)),
-            pedestrian_delay_s=float(rng.uniform(0.0, 1.5)),
-            pedestrian_speed_scale=float(rng.uniform(0.9, 1.15)),
+            ego_speed_scale=float(rng.uniform(*ranges["ego_speed_scale"])),
+            lead_gap_offset_m=float(rng.uniform(*ranges["lead_gap_offset_m"])),
+            lead_speed_offset_mps=float(rng.uniform(*ranges["lead_speed_offset_mps"])),
+            pedestrian_delay_s=float(rng.uniform(*ranges["pedestrian_delay_s"])),
+            pedestrian_speed_scale=float(rng.uniform(*ranges["pedestrian_speed_scale"])),
             npc_seed=int(rng.integers(0, 2**31 - 1)),
         )
 
@@ -448,28 +464,19 @@ def _build_ds6(variation: ScenarioVariation) -> DrivingScenario:
 
 
 def _degraded_detector_config() -> "DetectorConfig":
-    """A fog/low-light detector: noisier boxes, longer bursts, shorter range."""
-    from repro.perception.detection import DetectorConfig, DetectorNoiseModel
+    """A fog/low-light detector: noisier boxes, longer bursts, shorter range.
 
-    def degrade(noise: DetectorNoiseModel) -> DetectorNoiseModel:
-        return DetectorNoiseModel(
-            center_noise_mu_x=noise.center_noise_mu_x,
-            center_noise_sigma_x=noise.center_noise_sigma_x * 1.5,
-            center_noise_mu_y=noise.center_noise_mu_y,
-            center_noise_sigma_y=noise.center_noise_sigma_y * 1.5,
-            misdetection_start_probability=min(
-                0.99, noise.misdetection_start_probability * 4.0
-            ),
-            misdetection_burst_p99_frames=noise.misdetection_burst_p99_frames * 1.25,
-        )
+    Expressed through the same :class:`DetectorDegradation` factors the sweep
+    engine exposes as its ``detector.*`` axes, so DS-7's fixed fog level is
+    one point of the sweepable degradation space.  ``range_scale=2`` halves
+    the usable detection range: objects must appear twice as tall in the
+    image before the detector reports them.
+    """
+    from repro.perception.detection import DetectorDegradation
 
-    return DetectorConfig(
-        vehicle_noise=degrade(DetectorNoiseModel.vehicle_default()),
-        pedestrian_noise=degrade(DetectorNoiseModel.pedestrian_default()),
-        # Fog halves the usable detection range: objects must appear twice as
-        # tall in the image before the detector reports them.
-        min_bbox_height_px=16.0,
-    )
+    return DetectorDegradation(
+        sigma_scale=1.5, misdetection_scale=4.0, burst_scale=1.25, range_scale=2.0
+    ).apply()
 
 
 @register_scenario("DS-7", description="Pedestrian crossing in fog with a degraded detector")

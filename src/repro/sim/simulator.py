@@ -133,11 +133,13 @@ class Simulator:
         emergency_was_active = False
         halted = False
         last_lidar_scan: Optional[LidarScan] = None
+        # One snapshot per step: built here for step 0, then refreshed once
+        # after each world.step and reused for collision checking, the next
+        # iteration's sensing, and the final result.  (Snapshotting is the
+        # single most expensive bookkeeping call in the loop.)
         snapshot = world.snapshot()
 
         for step in range(max_steps):
-            snapshot = world.snapshot()
-
             camera_frame = self.camera.capture(snapshot)
             if self.config.lidar_due(step):
                 last_lidar_scan = self.lidar.scan(snapshot)
@@ -169,7 +171,8 @@ class Simulator:
 
             world.step(dt, ego_acceleration_mps2=decision.acceleration_mps2)
 
-            collision_actor = self._check_collision(world.snapshot())
+            snapshot = world.snapshot()
+            collision_actor = self._check_collision(snapshot)
             if collision_actor is not None:
                 events.record(
                     SimulationEvent(
@@ -189,14 +192,13 @@ class Simulator:
                 halted = True
                 break
 
-        final_snapshot = world.snapshot()
         return SimulationResult(
             scenario_id=self.scenario.scenario_id,
             events=events,
             steps_executed=world.step_index,
             duration_s=world.time_s,
             halted_on_collision=halted,
-            final_snapshot=final_snapshot,
+            final_snapshot=snapshot,
             target_actor_id=self._current_target_id(),
         )
 

@@ -60,3 +60,144 @@ class TestCli:
         assert args.runs == 10
         assert args.jobs == 0
         assert args.scenario is None
+        assert args.store is None
+        assert args.command is None
+
+    def test_store_flag_records_runs_durably(self, tmp_path, capsys):
+        code = main(
+            [
+                "--scenario", "DS-1", "--attacker", "none",
+                "--runs", "2", "--store", str(tmp_path),
+            ]
+        )
+        assert code == 0
+        capsys.readouterr()
+        from repro.experiments.store import ExperimentStore
+
+        store = ExperimentStore(tmp_path)
+        assert len(store.manifests()) == 1
+        assert sum(1 for _ in store.iter_records(scenario_id="DS-1")) == 2
+
+
+class TestSweepCli:
+    def test_dry_run_expands_fifty_points(self, capsys):
+        code = main(
+            ["sweep", "--scenario", "DS-1", "--store", "/unused", "--dry-run", "--n", "50"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Sweep of 50 points" in out
+        assert out.count("-p00") == 50
+
+    def test_sweep_executes_and_records_every_point(self, tmp_path, capsys):
+        code = main(
+            [
+                "sweep", "--scenario", "DS-1", "--store", str(tmp_path),
+                "--sampler", "random", "--n", "3", "--runs", "1",
+                "--param", "variation.lead_gap_offset_m=-8:8",
+                "--param", "simulation.max_duration_s=1.0",
+            ]
+        )
+        assert code == 0
+        capsys.readouterr()
+        from repro.experiments.store import ExperimentStore
+
+        store = ExperimentStore(tmp_path)
+        assert len(store.manifests()) == 3
+        assert sum(1 for _ in store.iter_records()) == 3
+        assert store.incomplete_campaigns() == []
+
+    def test_grid_sampler_uses_axis_grid_points(self, capsys):
+        code = main(
+            [
+                "sweep", "--scenario", "DS-2", "--store", "/unused", "--dry-run",
+                "--sampler", "grid",
+                "--param", "variation.pedestrian_delay_s=0:1.5:3",
+                "--param", "simulation.halt_gap_m=3.0,4.0",
+            ]
+        )
+        assert code == 0
+        assert "Sweep of 6 points" in capsys.readouterr().out
+
+    def test_bad_axis_exits_with_error(self):
+        with pytest.raises(SystemExit):
+            main(
+                [
+                    "sweep", "--scenario", "DS-1", "--store", "/unused",
+                    "--param", "variation.bogus=0:1",
+                ]
+            )
+
+    def test_non_numeric_axis_value_exits_with_error(self):
+        # A string swept into a float field must be a one-line error, not a
+        # TypeError traceback from deep inside SimulationConfig.
+        with pytest.raises(SystemExit, match="expects a number"):
+            main(
+                [
+                    "sweep", "--scenario", "DS-1", "--store", "/unused", "--dry-run",
+                    "--param", "simulation.halt_gap_m=abc",
+                ]
+            )
+
+    def test_unknown_scenario_exits_with_error(self):
+        with pytest.raises(SystemExit):
+            main(["sweep", "--scenario", "DS-99", "--store", "/unused", "--dry-run"])
+
+    def test_top_level_flags_before_subcommand_are_rejected(self):
+        # argparse would otherwise let the sweep's own --runs default silently
+        # clobber the user's value; fail loudly instead.
+        with pytest.raises(SystemExit, match="after the 'sweep' subcommand"):
+            main(["--runs", "5", "sweep", "--scenario", "DS-1", "--store", "/unused"])
+        with pytest.raises(SystemExit, match="after the 'resume' subcommand"):
+            main(["--seed", "99", "resume", "--store", "/unused"])
+
+    def test_subcommand_flags_reach_the_sweep(self, capsys):
+        code = main(
+            [
+                "sweep", "--scenario", "DS-1", "--store", "/unused",
+                "--dry-run", "--n", "7", "--runs", "4", "--seed", "123",
+            ]
+        )
+        assert code == 0
+        assert "Sweep of 7 points" in capsys.readouterr().out
+
+
+class TestResumeCli:
+    def test_resume_completes_interrupted_campaigns(self, tmp_path, capsys):
+        from repro.experiments.campaign import (
+            AttackerKind,
+            CampaignConfig,
+            run_campaign,
+        )
+        from repro.experiments.store import ExperimentStore, config_hash
+        from repro.runtime import FaultInjectingExecutor, InjectedFault
+        from repro.sim.config import SimulationConfig
+
+        config = CampaignConfig(
+            campaign_id="cli-resume",
+            scenario_id="DS-1",
+            attacker=AttackerKind.NONE,
+            n_runs=3,
+            seed=21,
+            simulation=SimulationConfig(max_duration_s=1.0),
+        )
+        store = ExperimentStore(tmp_path)
+        with pytest.raises(InjectedFault):
+            run_campaign(config, store=store, executor=FaultInjectingExecutor(1))
+        assert store.run_indices(config_hash(config)) == {0}
+
+        code = main(["resume", "--store", str(tmp_path)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Resuming cli-resume: 2 of 3 runs missing" in out
+        assert store.incomplete_campaigns() == []
+
+    def test_resume_of_complete_store_is_a_no_op(self, tmp_path, capsys):
+        code = main(["resume", "--store", str(tmp_path)])
+        assert code == 0
+        assert "Nothing to resume" in capsys.readouterr().out
+
+    def test_resume_of_missing_store_path_is_an_error(self, tmp_path):
+        # A typo'd path must not report "every campaign is complete".
+        with pytest.raises(SystemExit, match="no experiment store"):
+            main(["resume", "--store", str(tmp_path / "typo")])

@@ -5,6 +5,9 @@ import os
 import pytest
 
 from repro.runtime.executor import (
+    Executor,
+    FaultInjectingExecutor,
+    InjectedFault,
     ParallelExecutor,
     SerialExecutor,
     available_cpus,
@@ -22,6 +25,78 @@ class TestSerialExecutor:
 
     def test_empty_input(self):
         assert SerialExecutor().map(_square, []) == []
+
+    def test_imap_streams_tagged_pairs_in_order(self):
+        assert list(SerialExecutor().imap(_square, [3, 1, 2])) == [(0, 9), (1, 1), (2, 4)]
+
+    def test_imap_is_lazy(self):
+        seen = []
+
+        def observe(x):
+            seen.append(x)
+            return x
+
+        stream = SerialExecutor().imap(observe, [1, 2, 3])
+        assert seen == []
+        assert next(stream) == (0, 1)
+        assert seen == [1]
+
+
+class TestImapStreaming:
+    def test_parallel_imap_tags_match_inputs(self):
+        with ParallelExecutor(max_workers=2) as executor:
+            pairs = list(executor.imap(_square, range(10)))
+        # Completion order is backend-dependent; the tags are not.
+        assert sorted(pairs) == [(i, i * i) for i in range(10)]
+
+    def test_parallel_imap_single_item_runs_inline(self):
+        executor = ParallelExecutor(max_workers=2)
+        assert list(executor.imap(_square, [6])) == [(0, 36)]
+        assert executor._pool is None
+
+    def test_parallel_imap_empty(self):
+        with ParallelExecutor(max_workers=2) as executor:
+            assert list(executor.imap(_square, [])) == []
+
+    def test_default_imap_falls_back_to_map(self):
+        class MapOnly(Executor):
+            def map(self, fn, items):
+                return [fn(item) for item in items]
+
+        assert list(MapOnly().imap(_square, [2, 3])) == [(0, 4), (1, 9)]
+
+
+class TestFaultInjectingExecutor:
+    def test_completes_then_dies(self):
+        executor = FaultInjectingExecutor(2)
+        stream = executor.imap(_square, [1, 2, 3, 4])
+        assert next(stream) == (0, 1)
+        assert next(stream) == (1, 4)
+        with pytest.raises(InjectedFault):
+            next(stream)
+        assert executor.completed == 2
+
+    def test_zero_fail_after_dies_immediately(self):
+        with pytest.raises(InjectedFault):
+            list(FaultInjectingExecutor(0).imap(_square, [1]))
+
+    def test_map_raises_at_the_fault_point(self):
+        with pytest.raises(InjectedFault):
+            FaultInjectingExecutor(1).map(_square, [1, 2])
+
+    def test_survives_when_under_budget(self):
+        executor = FaultInjectingExecutor(10)
+        assert executor.map(_square, [1, 2, 3]) == [1, 4, 9]
+
+    def test_counter_spans_calls(self):
+        executor = FaultInjectingExecutor(3)
+        assert executor.map(_square, [1, 2]) == [1, 4]
+        with pytest.raises(InjectedFault):
+            executor.map(_square, [3, 4])
+
+    def test_negative_fail_after_rejected(self):
+        with pytest.raises(ValueError):
+            FaultInjectingExecutor(-1)
 
 
 class TestParallelExecutor:
