@@ -7,7 +7,12 @@ a 100-100-50 ReLU network with dropout 0.1 is trained with Adam on an L2 loss
 using a 60/40 train/validation split.  The trained oracle is then plugged into
 a RoboTack attacker and evaluated on a few held-out attacked runs.
 
-Run with:  python examples/train_safety_hijacker.py --scenario DS-2 --vector disappear
+Collection fans out over worker processes (``--jobs``), and with ``--store``
+the collected grid points stream into an experiment store (resumable on
+restart) and the trained oracle is published into its model registry — the
+pipeline behind ``repro-campaign train``.
+
+Run with:  python examples/train_safety_hijacker.py --scenario DS-2 --vector disappear --jobs -1
 """
 
 from __future__ import annotations
@@ -17,7 +22,7 @@ import argparse
 import numpy as np
 
 from repro.core import AttackVector
-from repro.core.training import collect_safety_dataset, train_neural_safety_predictor
+from repro.core.training import train_and_register_predictor
 from repro.experiments.campaign import (
     AttackerKind,
     CampaignConfig,
@@ -34,30 +39,41 @@ def main() -> None:
     parser.add_argument("--epochs", type=int, default=200)
     parser.add_argument("--seed", type=int, default=7)
     parser.add_argument("--eval-runs", type=int, default=5)
+    parser.add_argument("--jobs", type=int, default=0,
+                        help="worker processes for collection (0/1 serial, -1 all CPUs)")
+    parser.add_argument("--store", default=None,
+                        help="experiment-store root: make collection resumable and "
+                        "register the trained oracle for campaign reuse")
     args = parser.parse_args()
 
     vector = AttackVector.from_string(args.vector)
     delta_grid, k_grid = training_grid_for(args.scenario)
 
-    print(f"collecting attack-response dataset for {args.scenario} / {vector.name} ...")
-    dataset = collect_safety_dataset(
-        scenario_id=args.scenario,
-        vector=vector,
-        delta_inject_values=delta_grid,
-        k_values=k_grid,
+    print(f"collecting attack-response dataset for {args.scenario} / {vector.name} "
+          f"(jobs={args.jobs}) ...")
+    artifact = train_and_register_predictor(
+        args.scenario,
+        vector,
+        delta_grid,
+        k_grid,
         seed=args.seed,
         repeats=2,
+        epochs=args.epochs,
+        executor=args.jobs,
+        store=args.store,
     )
+    dataset, predictor, result = artifact.dataset, artifact.predictor, artifact.training
     print(f"collected {dataset.n_samples} samples "
-          f"(labels range {dataset.targets.min():.1f} .. {dataset.targets.max():.1f} m)")
-
-    predictor, result = train_neural_safety_predictor(dataset, epochs=args.epochs, seed=args.seed)
+          f"(labels range {dataset.targets.min():.1f} .. {dataset.targets.max():.1f} m, "
+          f"dataset hash {artifact.dataset_hash[:12]})")
     print(
         f"trained {predictor.network.num_parameters()} parameters for {args.epochs} epochs: "
         f"train loss {result.history.final_train_loss:.3f}, "
         f"validation loss {result.history.final_validation_loss:.3f} "
         f"({result.n_train_samples}/{result.n_validation_samples} split)"
     )
+    if artifact.model_hash is not None:
+        print(f"registered model {artifact.model_hash[:12]} at {artifact.model_dir}")
 
     errors = np.abs(predictor.predict_batch(dataset.inputs) - dataset.targets.reshape(-1))
     print(f"mean absolute error on the dataset: {errors.mean():.2f} m")

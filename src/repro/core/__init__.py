@@ -33,9 +33,12 @@ from repro.core.safety_hijacker import (
 from repro.core.scenario_matcher import ScenarioMatcher, TrajectoryClass
 from repro.core.trajectory_hijacker import TrajectoryHijacker, TrajectoryHijackerConfig
 from repro.core.training import (
+    OracleArtifact,
     SafetyDataset,
     ScriptedAttacker,
     collect_safety_dataset,
+    load_registered_predictor,
+    train_and_register_predictor,
     train_neural_safety_predictor,
 )
 
@@ -55,8 +58,11 @@ __all__ = [
     "TrajectoryClass",
     "TrajectoryHijacker",
     "TrajectoryHijackerConfig",
+    "OracleArtifact",
     "SafetyDataset",
     "ScriptedAttacker",
     "collect_safety_dataset",
+    "load_registered_predictor",
+    "train_and_register_predictor",
     "train_neural_safety_predictor",
 ]

@@ -20,8 +20,10 @@ on simulated attack responses; this module provides:
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
-from typing import Dict, Protocol
+from pathlib import Path
+from typing import Dict, Protocol, Union
 
 import numpy as np
 
@@ -156,6 +158,66 @@ class NeuralSafetyPredictor:
         """Vectorized prediction over raw (unnormalized) input rows."""
         normalized = self.network.predict(self.normalize(raw_inputs)).reshape(-1)
         return normalized * self.target_std + self.target_mean
+
+    # ------------------------------------------------------------------ #
+    # Serialization — the trained oracle as a durable artifact
+    # ------------------------------------------------------------------ #
+
+    #: Format tag of the predictor document; readers reject other formats.
+    FORMAT = "repro-neural-safety-predictor"
+    #: Bump when the predictor schema changes incompatibly.
+    VERSION = 1
+
+    def save(self, path: Union[str, Path]) -> Path:
+        """Persist the predictor (network + baked-in standardization) under ``path``.
+
+        Layout: ``<path>/predictor.json`` holds the normalization statistics
+        (JSON floats round-trip exactly in Python) and ``<path>/network/``
+        holds the network saved by :meth:`FeedForwardNetwork.save`.  A loaded
+        copy (:meth:`load`) predicts bit-identically.
+        """
+        from repro.runtime.cache import atomic_publish
+
+        directory = Path(path).expanduser()
+        directory.mkdir(parents=True, exist_ok=True)
+        self.network.save(directory / "network")
+        payload = {
+            "format": self.FORMAT,
+            "version": self.VERSION,
+            "feature_means": [float(value) for value in self.feature_means],
+            "feature_stds": [float(value) for value in self.feature_stds],
+            "target_mean": self.target_mean,
+            "target_std": self.target_std,
+        }
+        atomic_publish(
+            directory / "predictor.json",
+            lambda handle: handle.write(json.dumps(payload, indent=2).encode("utf-8")),
+        )
+        return directory
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "NeuralSafetyPredictor":
+        """Rebuild a predictor previously persisted with :meth:`save`."""
+        directory = Path(path).expanduser()
+        with (directory / "predictor.json").open("r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+        if payload.get("format") != cls.FORMAT:
+            raise ValueError(
+                f"not a serialized predictor: format={payload.get('format')!r}"
+            )
+        version = int(payload.get("version", 0))
+        if version > cls.VERSION:
+            raise ValueError(
+                f"predictor saved by a newer serialization version "
+                f"({version} > {cls.VERSION})"
+            )
+        return cls(
+            FeedForwardNetwork.load(directory / "network"),
+            np.asarray(payload["feature_means"], dtype=float),
+            np.asarray(payload["feature_stds"], dtype=float),
+            target_mean=float(payload["target_mean"]),
+            target_std=float(payload["target_std"]),
+        )
 
 
 def _default_launch_thresholds() -> Dict[AttackVector, float]:

@@ -17,12 +17,32 @@ the label:
 
 The collected dataset is used to train the 100-100-50 ReLU network with Adam
 on an L2 loss with a 60/40 train/validation split, exactly as in the paper.
+
+Collection is the last expensive serial hot path of the reproduction, and it
+is embarrassingly parallel: every ``(delta_inject, k)`` grid point's scenario
+variation and RNG seeds are pre-drawn in grid order from the root seed's
+single stream (cheap, no simulation) and shipped with the job, so
+:func:`collect_safety_dataset` fans the grid out over the
+:mod:`repro.runtime` executors (``executor=``) with bit-identical
+serial/parallel dataset assembly — and datasets identical to the historical
+serial implementation, keeping trained oracle weights stable across the
+refactor.  With a ``store=`` the collected sample
+batches stream into the :class:`~repro.experiments.store.ExperimentStore` as
+dataset records, and an interrupted collection resumes by skipping the grid
+points already on disk.  :func:`train_and_register_predictor` chains
+collection, training, and persistence into the content-addressed model
+registry (dataset hash + training config), which is what the
+``repro-campaign train`` subcommand and the campaign runner's pretrained-oracle
+loading are built on.
 """
 
 from __future__ import annotations
 
+import functools
+import hashlib
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from pathlib import Path
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -35,16 +55,28 @@ from repro.core.scenario_matcher import ScenarioMatcher
 from repro.nn import Adam, FeedForwardNetwork, TrainingResult, train_network
 from repro.perception.pipeline import PerceptionConfig
 from repro.perception.transforms import WorldObjectEstimate
+from repro.runtime.cache import encode_key
+from repro.runtime.executor import ExecutorLike, resolve_executor
 from repro.sim.config import SimulationConfig
 from repro.sim.road import Road
 from repro.sim.scenarios import ScenarioVariation, build_scenario
 from repro.sim.simulator import SimulationResult, Simulator
 
+if TYPE_CHECKING:  # pragma: no cover - type hints only (store imports nothing here)
+    from repro.experiments.store import ExperimentStore
+
 __all__ = [
     "ScriptedAttacker",
     "SafetyDataset",
+    "OracleArtifact",
+    "expand_training_grid",
+    "collection_hash_for",
+    "dataset_content_hash",
+    "training_spec_hash",
     "collect_safety_dataset",
     "train_neural_safety_predictor",
+    "train_and_register_predictor",
+    "load_registered_predictor",
 ]
 
 #: Clamp applied to infinite perceived safety potentials ("road looks clear").
@@ -133,7 +165,10 @@ def _label_for_run(
     """Extract the training label from one simulation run, if the attack fired."""
     if not attacker.record.launched or attacker.record.start_frame is None:
         return None
-    start_step = attacker.record.start_frame - 1
+    # An attack launched on the very first frame yields start_frame - 1 == -1,
+    # and a negative slice start would silently read the window from the *end*
+    # of the trace — a corrupt label.  Clamp to the trace start instead.
+    start_step = max(0, attacker.record.start_frame - 1)
     if vector is AttackVector.MOVE_IN:
         # The Move_In hazard is forced emergency braking: the label is the
         # perceived safety potential at the moment the faked in-path obstacle
@@ -162,6 +197,162 @@ def _label_for_run(
     return float(min(min(window), _CLEAR_ROAD_DELTA_M))
 
 
+def expand_training_grid(
+    delta_inject_values: Sequence[float],
+    k_values: Sequence[int],
+    repeats: int = 1,
+) -> List[Tuple[int, float, int]]:
+    """The indexed ``(point_index, delta_inject, k)`` collection work list.
+
+    The point index is the identity of a grid point everywhere: it derives the
+    point's independent seed, orders the assembled dataset, and keys the
+    store's dataset records for resume.
+    """
+    if repeats < 1:
+        raise ValueError("repeats must be at least 1")
+    grid = [
+        (float(delta_inject), int(k_frames))
+        for delta_inject in delta_inject_values
+        for k_frames in k_values
+        for _ in range(repeats)
+    ]
+    return [(index, delta, k) for index, (delta, k) in enumerate(grid)]
+
+
+@dataclass(frozen=True)
+class _GridPointJob:
+    """One self-contained collection work unit (picklable for the executors).
+
+    The variation and the three per-component seeds are pre-drawn in the
+    parent process, in grid order, from the single root RNG stream — exactly
+    the draws the historical serial loop made — so the assembled dataset is
+    bit-identical whichever backend runs the jobs *and* to datasets collected
+    before the fan-out existed (trained oracle weights are stable artifacts).
+    """
+
+    point_index: int
+    delta_inject_m: float
+    k_frames: int
+    variation: ScenarioVariation
+    ads_seed: int
+    attacker_seed: int
+    simulator_seed: int
+
+
+def _expand_jobs(
+    delta_inject_values: Sequence[float],
+    k_values: Sequence[int],
+    seed: int,
+    repeats: int,
+) -> List[_GridPointJob]:
+    """Pre-draw every grid point's variation and seeds from the root stream."""
+    rng = np.random.default_rng(seed)
+    jobs: List[_GridPointJob] = []
+    for point_index, delta_inject, k_frames in expand_training_grid(
+        delta_inject_values, k_values, repeats
+    ):
+        variation = ScenarioVariation.sample(rng)
+        jobs.append(
+            _GridPointJob(
+                point_index=point_index,
+                delta_inject_m=delta_inject,
+                k_frames=k_frames,
+                variation=variation,
+                ads_seed=int(rng.integers(0, 2**31 - 1)),
+                attacker_seed=int(rng.integers(0, 2**31 - 1)),
+                simulator_seed=int(rng.integers(0, 2**31 - 1)),
+            )
+        )
+    return jobs
+
+
+def _collect_grid_point(
+    scenario_id: str,
+    vector: AttackVector,
+    simulation_config: SimulationConfig,
+    job: _GridPointJob,
+) -> Tuple[int, List[List[float]], List[float]]:
+    """Simulate one scripted-attack grid point (the parallel work unit).
+
+    Returns the point's sample rows; both lists are empty when the scripted
+    attack never fired.
+    """
+    point_index = job.point_index
+    delta_inject = job.delta_inject_m
+    k_frames = job.k_frames
+    scenario = build_scenario(scenario_id, job.variation)
+    # Degraded-sensing scenarios (e.g. DS-7's fog) must train under the
+    # same detector the campaign evaluates with, or the oracle is
+    # calibrated for clean sensing it will never see.
+    perception_config = (
+        PerceptionConfig(detector=scenario.detector_config)
+        if scenario.detector_config is not None
+        else None
+    )
+    ads = AdsAgent(
+        road=scenario.road,
+        planner_config=PlannerConfig(cruise_speed_mps=scenario.cruise_speed_mps),
+        perception_config=perception_config,
+        rng=np.random.default_rng(job.ads_seed),
+    )
+    # The attacker's own reconstruction and stealth bounds must track the
+    # scenario's (possibly degraded) detector, exactly as at evaluation time.
+    attacker_config = RoboTackConfig.for_detector((vector,), scenario.detector_config)
+    attacker = ScriptedAttacker(
+        road=scenario.road,
+        vector=vector,
+        delta_inject_m=delta_inject,
+        k_frames=k_frames,
+        config=attacker_config,
+        rng=np.random.default_rng(job.attacker_seed),
+    )
+    simulator = Simulator(
+        scenario,
+        ads,
+        config=simulation_config,
+        attacker=attacker,
+        rng=np.random.default_rng(job.simulator_seed),
+    )
+    result = simulator.run()
+    label = _label_for_run(vector, result, attacker, k_frames)
+    features = attacker.record.features_at_launch
+    if label is None or features is None:
+        return point_index, [], []
+    return (
+        point_index,
+        [[float(value) for value in features.as_array(k_frames)]],
+        [float(label)],
+    )
+
+
+def collection_hash_for(
+    scenario_id: str,
+    vector: AttackVector,
+    delta_inject_values: Sequence[float],
+    k_values: Sequence[int],
+    seed: int,
+    repeats: int,
+    simulation_config: SimulationConfig | None = None,
+) -> str:
+    """Content address of a dataset collection: SHA-256 of its full spec.
+
+    Two collections that could produce different samples never share a hash,
+    so resuming against a store can only ever skip points collected by an
+    identically specified earlier attempt.
+    """
+    key = (
+        "safety-dataset",
+        scenario_id,
+        vector,
+        tuple(float(value) for value in delta_inject_values),
+        tuple(int(value) for value in k_values),
+        int(seed),
+        int(repeats),
+        simulation_config or SimulationConfig(),
+    )
+    return hashlib.sha256(encode_key(key).encode("utf-8")).hexdigest()
+
+
 def collect_safety_dataset(
     scenario_id: str,
     vector: AttackVector,
@@ -170,66 +361,82 @@ def collect_safety_dataset(
     seed: int = 0,
     repeats: int = 1,
     simulation_config: SimulationConfig | None = None,
+    executor: ExecutorLike = None,
+    store: "ExperimentStore | str | Path | None" = None,
 ) -> SafetyDataset:
     """Run the scripted-attack simulations and assemble the training dataset.
 
     Each ``(delta_inject, k)`` grid point is simulated ``repeats`` times with
-    independently randomized scenario variations.
+    independently randomized scenario variations.  Every grid point's
+    variation and seeds are pre-drawn in grid order from the root seed's
+    single RNG stream, so the assembled dataset is bit-identical whichever
+    ``executor`` fans the points out — and identical to the historical serial
+    implementation (trained oracle weights are stable artifacts).  With a
+    ``store=`` (an :class:`~repro.experiments.store.ExperimentStore` or its
+    root path) each point's sample batch is durably recorded as it completes
+    and already-stored points are skipped on restart — an interrupted
+    collection resumes instead of recomputing.
     """
-    if repeats < 1:
-        raise ValueError("repeats must be at least 1")
-    rng = np.random.default_rng(seed)
+    grid = _expand_jobs(delta_inject_values, k_values, seed, repeats)
     simulation_config = simulation_config or SimulationConfig()
+    resolved_store = _resolve_store(store)
+    collected: Dict[int, Tuple[List[List[float]], List[float]]] = {}
+    if resolved_store is not None:
+        collection_hash_ = collection_hash_for(
+            scenario_id, vector, delta_inject_values, k_values, seed, repeats,
+            simulation_config,
+        )
+        resolved_store.write_dataset_manifest(
+            collection_hash_,
+            {
+                "scenario_id": scenario_id,
+                "vector": vector.name,
+                "delta_inject_values": [float(v) for v in delta_inject_values],
+                "k_values": [int(v) for v in k_values],
+                "seed": int(seed),
+                "repeats": int(repeats),
+                "n_points": len(grid),
+            },
+        )
+        done = resolved_store.dataset_point_indices(collection_hash_)
+        pending = [job for job in grid if job.point_index not in done]
+    else:
+        collection_hash_ = None
+        pending = grid
+    worker = functools.partial(
+        _collect_grid_point, scenario_id, vector, simulation_config
+    )
+    resolved = resolve_executor(executor)
+    try:
+        # Streaming fan-out: each completed point is checkpointed (store path)
+        # or staged (in-memory path) as it lands, so a killed collection loses
+        # at most the points in flight.
+        for _, (point_index, input_rows, target_rows) in resolved.imap(worker, pending):
+            if resolved_store is not None:
+                resolved_store.append_dataset_point(
+                    collection_hash_, point_index, input_rows, target_rows
+                )
+            else:
+                collected[point_index] = (input_rows, target_rows)
+    finally:
+        if resolved is not executor:
+            resolved.close()
+    if resolved_store is not None:
+        collected = resolved_store.load_dataset_points(collection_hash_)
+        missing = [job.point_index for job in grid if job.point_index not in collected]
+        if missing:  # pragma: no cover - store invariant
+            raise RuntimeError(
+                f"collection {collection_hash_[:12]} is missing grid points "
+                f"{missing} after the fan-out completed"
+            )
     inputs: List[List[float]] = []
     targets: List[float] = []
-    grid = [
-        (float(delta_inject), int(k_frames))
-        for delta_inject in delta_inject_values
-        for k_frames in k_values
-        for _ in range(repeats)
-    ]
-    for delta_inject, k_frames in grid:
-        variation = ScenarioVariation.sample(rng)
-        scenario = build_scenario(scenario_id, variation)
-        # Degraded-sensing scenarios (e.g. DS-7's fog) must train under the
-        # same detector the campaign evaluates with, or the oracle is
-        # calibrated for clean sensing it will never see.
-        perception_config = (
-            PerceptionConfig(detector=scenario.detector_config)
-            if scenario.detector_config is not None
-            else None
-        )
-        ads = AdsAgent(
-            road=scenario.road,
-            planner_config=PlannerConfig(cruise_speed_mps=scenario.cruise_speed_mps),
-            perception_config=perception_config,
-            rng=np.random.default_rng(int(rng.integers(0, 2**31 - 1))),
-        )
-        # The attacker's own reconstruction and stealth bounds must track the
-        # scenario's (possibly degraded) detector, exactly as at evaluation time.
-        attacker_config = RoboTackConfig.for_detector((vector,), scenario.detector_config)
-        attacker = ScriptedAttacker(
-            road=scenario.road,
-            vector=vector,
-            delta_inject_m=delta_inject,
-            k_frames=k_frames,
-            config=attacker_config,
-            rng=np.random.default_rng(int(rng.integers(0, 2**31 - 1))),
-        )
-        simulator = Simulator(
-            scenario,
-            ads,
-            config=simulation_config,
-            attacker=attacker,
-            rng=np.random.default_rng(int(rng.integers(0, 2**31 - 1))),
-        )
-        result = simulator.run()
-        label = _label_for_run(vector, result, attacker, k_frames)
-        features = attacker.record.features_at_launch
-        if label is None or features is None:
-            continue
-        inputs.append(list(features.as_array(k_frames)))
-        targets.append(label)
+    # Assembly order is the grid order, never the completion order — the
+    # invariant behind bit-identical serial/parallel/resumed datasets.
+    for job in grid:
+        point_inputs, point_targets = collected.get(job.point_index, ([], []))
+        inputs.extend(point_inputs)
+        targets.extend(point_targets)
     if not inputs:
         raise RuntimeError(
             f"no training samples collected for {scenario_id}/{vector.value}; "
@@ -241,6 +448,17 @@ def collect_safety_dataset(
         inputs=np.asarray(inputs, dtype=float),
         targets=np.asarray(targets, dtype=float).reshape(-1, 1),
     )
+
+
+def _resolve_store(store: "ExperimentStore | str | Path | None"):
+    """Coerce a store spec to a store (lazy import: experiments imports us)."""
+    if store is None:
+        return None
+    from repro.experiments.store import ExperimentStore
+
+    if isinstance(store, ExperimentStore):
+        return store
+    return ExperimentStore(store)
 
 
 def train_neural_safety_predictor(
@@ -282,3 +500,192 @@ def train_neural_safety_predictor(
         network, means, stds, target_mean=target_mean, target_std=target_std
     )
     return predictor, result
+
+
+# --------------------------------------------------------------------- #
+# Model registry — content-addressed trained oracles in the store
+# --------------------------------------------------------------------- #
+
+
+def dataset_content_hash(dataset: SafetyDataset) -> str:
+    """SHA-256 over the dataset's exact contents (vector, inputs, targets)."""
+    digest = hashlib.sha256()
+    digest.update(dataset.vector.name.encode("utf-8"))
+    digest.update(dataset.scenario_id.encode("utf-8"))
+    for array in (dataset.inputs, dataset.targets):
+        contiguous = np.ascontiguousarray(array, dtype=np.float64)
+        digest.update(str(contiguous.shape).encode("utf-8"))
+        digest.update(contiguous.tobytes())
+    return digest.hexdigest()
+
+
+def _training_spec_key(
+    scenario_id: str,
+    vector: AttackVector,
+    delta_inject_values: Sequence[float],
+    k_values: Sequence[int],
+    collect_seed: int,
+    repeats: int,
+    epochs: int,
+    learning_rate: float,
+    train_seed: int,
+    simulation_config: SimulationConfig | None,
+) -> Tuple:
+    return (
+        "oracle-spec",
+        scenario_id,
+        vector,
+        tuple(float(value) for value in delta_inject_values),
+        tuple(int(value) for value in k_values),
+        int(collect_seed),
+        int(repeats),
+        int(epochs),
+        float(learning_rate),
+        int(train_seed),
+        simulation_config or SimulationConfig(),
+    )
+
+
+def training_spec_hash(
+    scenario_id: str,
+    vector: AttackVector,
+    delta_inject_values: Sequence[float],
+    k_values: Sequence[int],
+    collect_seed: int = 7,
+    repeats: int = 2,
+    epochs: int = 200,
+    learning_rate: float = 1e-3,
+    train_seed: Optional[int] = None,
+    simulation_config: SimulationConfig | None = None,
+) -> str:
+    """Hash of the full *specification* of a trained oracle.
+
+    This is the registry's lookup key: a campaign process that knows only the
+    spec (not the dataset contents) resolves it to a published model hash via
+    the store's ``models/index/``.
+    """
+    key = _training_spec_key(
+        scenario_id, vector, delta_inject_values, k_values, collect_seed, repeats,
+        epochs, learning_rate, train_seed if train_seed is not None else collect_seed,
+        simulation_config,
+    )
+    return hashlib.sha256(encode_key(key).encode("utf-8")).hexdigest()
+
+
+@dataclass
+class OracleArtifact:
+    """Everything :func:`train_and_register_predictor` produced."""
+
+    predictor: NeuralSafetyPredictor
+    training: TrainingResult
+    dataset: SafetyDataset
+    dataset_hash: str
+    spec_hash: str
+    #: ``None`` when no store was supplied (nothing was persisted).
+    model_hash: Optional[str] = None
+    model_dir: Optional[Path] = None
+
+
+def train_and_register_predictor(
+    scenario_id: str,
+    vector: AttackVector,
+    delta_inject_values: Sequence[float],
+    k_values: Sequence[int],
+    seed: int = 7,
+    repeats: int = 2,
+    epochs: int = 200,
+    learning_rate: float = 1e-3,
+    train_seed: Optional[int] = None,
+    simulation_config: SimulationConfig | None = None,
+    executor: ExecutorLike = None,
+    store: "ExperimentStore | str | Path | None" = None,
+) -> OracleArtifact:
+    """Collect (parallel, resumable), train, and persist the neural oracle.
+
+    The end-to-end training pipeline: the dataset is collected through
+    :func:`collect_safety_dataset` (fanned out over ``executor``, streamed
+    into ``store`` when given), the paper's network is trained on it, and —
+    when a store is supplied — the predictor is published into the
+    content-addressed model registry under
+    ``sha256(dataset_hash + training config)`` and indexed by its spec hash
+    for lookup by campaign processes.
+    """
+    train_seed = train_seed if train_seed is not None else seed
+    resolved_store = _resolve_store(store)
+    dataset = collect_safety_dataset(
+        scenario_id=scenario_id,
+        vector=vector,
+        delta_inject_values=delta_inject_values,
+        k_values=k_values,
+        seed=seed,
+        repeats=repeats,
+        simulation_config=simulation_config,
+        executor=executor,
+        store=resolved_store,
+    )
+    predictor, result = train_neural_safety_predictor(
+        dataset, epochs=epochs, learning_rate=learning_rate, seed=train_seed
+    )
+    dataset_hash = dataset_content_hash(dataset)
+    spec_hash = training_spec_hash(
+        scenario_id, vector, delta_inject_values, k_values, collect_seed=seed,
+        repeats=repeats, epochs=epochs, learning_rate=learning_rate,
+        train_seed=train_seed, simulation_config=simulation_config,
+    )
+    artifact = OracleArtifact(
+        predictor=predictor,
+        training=result,
+        dataset=dataset,
+        dataset_hash=dataset_hash,
+        spec_hash=spec_hash,
+    )
+    if resolved_store is None:
+        return artifact
+    training_key = _training_spec_key(
+        scenario_id, vector, delta_inject_values, k_values, seed, repeats, epochs,
+        learning_rate, train_seed, simulation_config,
+    )
+    model_hash = hashlib.sha256(
+        f"{dataset_hash}:{encode_key(training_key)}".encode("utf-8")
+    ).hexdigest()
+    metadata = {
+        "scenario_id": scenario_id,
+        "vector": vector.name,
+        "dataset_hash": dataset_hash,
+        "spec_hash": spec_hash,
+        "n_samples": dataset.n_samples,
+        "collect_seed": int(seed),
+        "repeats": int(repeats),
+        "epochs": int(epochs),
+        "learning_rate": float(learning_rate),
+        "train_seed": int(train_seed),
+        "n_train_samples": result.n_train_samples,
+        "n_validation_samples": result.n_validation_samples,
+        "train_loss": [float(value) for value in result.history.train_loss],
+        "validation_loss": [float(value) for value in result.history.validation_loss],
+    }
+    artifact.model_dir = resolved_store.publish_model(
+        model_hash,
+        lambda staging: predictor.save(staging / "predictor"),
+        metadata,
+    )
+    artifact.model_hash = model_hash
+    resolved_store.register_model_spec(
+        spec_hash, model_hash, {"scenario_id": scenario_id, "vector": vector.name}
+    )
+    return artifact
+
+
+def load_registered_predictor(
+    store: "ExperimentStore | str | Path", spec_hash: str
+) -> Optional[NeuralSafetyPredictor]:
+    """Load the pretrained oracle registered for a training spec, if any.
+
+    Returns ``None`` when the spec was never trained into this store (or its
+    model directory is gone), which callers treat as "train it now".
+    """
+    resolved_store = _resolve_store(store)
+    model_hash = resolved_store.resolve_model_spec(spec_hash)
+    if model_hash is None or not resolved_store.has_model(model_hash):
+        return None
+    return NeuralSafetyPredictor.load(resolved_store.model_dir(model_hash) / "predictor")

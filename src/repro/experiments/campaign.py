@@ -40,7 +40,13 @@ from repro.core.safety_hijacker import (
     SafetyHijackerConfig,
     SafetyPredictor,
 )
-from repro.core.training import collect_safety_dataset, train_neural_safety_predictor
+from repro.core.training import (
+    collect_safety_dataset,
+    load_registered_predictor,
+    train_and_register_predictor,
+    train_neural_safety_predictor,
+    training_spec_hash,
+)
 from repro.experiments.results import CampaignResult, RunResult
 from repro.experiments.store import ExperimentStore, RunRecord, config_hash
 from repro.perception.detection import DetectorDegradation
@@ -271,17 +277,67 @@ def _train_predictor(
     return predictor
 
 
+def _store_backed_predictor(
+    scenario_id: str,
+    vector: AttackVector,
+    seed: int,
+    training_epochs: int,
+    store: ExperimentStore,
+    executor: ExecutorLike = None,
+) -> SafetyPredictor:
+    """Load the registered oracle from the store, or train-and-register it.
+
+    This is the train-once/deploy-many path: the first process (usually
+    ``repro-campaign train``) pays collection + training and publishes the
+    model; every later campaign process — including every restart — reloads
+    the identical weights instead of retraining.
+    """
+    delta_grid, k_grid = training_grid_for(scenario_id)
+    spec_hash = training_spec_hash(
+        scenario_id, vector, delta_grid, k_grid,
+        collect_seed=seed, repeats=2, epochs=training_epochs,
+    )
+    loaded = load_registered_predictor(store, spec_hash)
+    if loaded is not None:
+        return loaded
+    artifact = train_and_register_predictor(
+        scenario_id, vector, delta_grid, k_grid,
+        seed=seed, repeats=2, epochs=training_epochs,
+        executor=executor, store=store,
+    )
+    return artifact.predictor
+
+
 def get_or_train_predictor(
     scenario_id: str,
     vector: AttackVector,
     kind: PredictorKind = PredictorKind.NEURAL,
     seed: int = 7,
     training_epochs: int = 120,
+    store: StoreLike = None,
+    executor: ExecutorLike = None,
 ) -> SafetyPredictor:
-    """Return the safety-potential oracle for a scenario/vector, training it if needed."""
+    """Return the safety-potential oracle for a scenario/vector, training it if needed.
+
+    With a ``store=``, the store's model registry is consulted first (and a
+    freshly trained oracle is published back into it); the dataset collection
+    behind a training miss fans out over ``executor`` and is itself resumable.
+    """
     # training_epochs is part of the key: with the disk layer enabled, a
     # predictor trained with different epochs must never shadow this one.
     cache_key = (scenario_id, vector, kind, seed, training_epochs)
+    resolved_store = resolve_store(store)
+    if resolved_store is not None and kind is PredictorKind.NEURAL:
+        # The store root is part of the key: each store must get its own
+        # publish-to-registry side effect (and its own disk-cache entry), or
+        # a second store would silently never receive the trained model.
+        return _PREDICTOR_CACHE.get_or_create(
+            cache_key + ("store", str(resolved_store.root)),
+            functools.partial(
+                _store_backed_predictor, scenario_id, vector, seed, training_epochs,
+                resolved_store, executor,
+            ),
+        )
     return _PREDICTOR_CACHE.get_or_create(
         cache_key,
         functools.partial(
@@ -451,12 +507,18 @@ def run_single_experiment(
     return run_single_experiment_record(config, run_index, predictor=predictor).result
 
 
-def _prepare_predictor(config: CampaignConfig) -> Optional[SafetyPredictor]:
+def _prepare_predictor(
+    config: CampaignConfig,
+    store: Optional[ExperimentStore] = None,
+    executor: ExecutorLike = None,
+) -> Optional[SafetyPredictor]:
     """Train (or fetch) the predictor a RoboTack campaign needs, in-process.
 
     Doing this *before* fanning runs out guarantees (a) workers never train
     redundant copies and (b) serial and parallel campaigns use the exact same
     oracle weights — the invariant behind bit-identical campaign statistics.
+    With a ``store``, a pretrained oracle is loaded from its model registry
+    instead of being retrained per process.
     """
     if config.attacker is not AttackerKind.ROBOTACK:
         return None
@@ -465,6 +527,8 @@ def _prepare_predictor(config: CampaignConfig) -> Optional[SafetyPredictor]:
         config.vector,
         kind=config.predictor,
         training_epochs=config.training_epochs,
+        store=store,
+        executor=executor,
     )
 
 
@@ -486,12 +550,15 @@ def _run_campaign_checkpointed(
     done = store.run_indices(config_hash(config))
     pending = [index for index in range(config.n_runs) if index not in done]
     if pending:
-        predictor = _prepare_predictor(config)
         resolved = resolve_executor(executor)
-        worker = functools.partial(
-            run_single_experiment_record, config, predictor=predictor
-        )
         try:
+            # The oracle comes from the store's model registry when one is
+            # published (train-once/deploy-many); a registry miss trains it
+            # here, fanning the dataset collection out over the same pool.
+            predictor = _prepare_predictor(config, store=store, executor=resolved)
+            worker = functools.partial(
+                run_single_experiment_record, config, predictor=predictor
+            )
             for _, record in resolved.imap(worker, pending):
                 store.append(record)
         finally:

@@ -28,8 +28,23 @@ Store layout::
 
     <root>/
       manifests/<config_hash>.json      # the CampaignConfig, JSON-serialized
+      manifests/datasets/<collection_hash>.json   # dataset-collection provenance
       runs/<config_hash>.jsonl          # one line per completed run
       traces/<config_hash>/<run>.npz    # per-step δ / speed traces
+      datasets/<collection_hash>.jsonl  # one line per collected training grid point
+      models/<model_hash>/              # a persisted predictor + registry.json
+      models/index/<spec_hash>.json     # training-spec hash -> model hash
+
+The *dataset* records are the second record kind: the safety-hijacker
+training pipeline streams each ``(delta_inject, k)`` grid point's collected
+sample batch into ``datasets/<collection_hash>.jsonl`` as it completes, so an
+interrupted collection resumes by skipping the stored point indices — the
+same crash/resume discipline as campaign runs.  The *model registry* is
+content-addressed: a trained predictor lives under the SHA-256 of its
+(dataset content hash, training config) pair, and ``models/index/`` maps the
+hash of the *specification* (scenario, vector, grids, seeds, epochs) to that
+model so campaign processes can load a pretrained oracle without ever
+touching the dataset.
 
 The load/query/aggregate API (:meth:`ExperimentStore.load_records`,
 :meth:`ExperimentStore.iter_records`, :meth:`ExperimentStore.campaign_result`,
@@ -43,9 +58,21 @@ import dataclasses
 import hashlib
 import json
 import os
+import shutil
 from dataclasses import dataclass
 from pathlib import Path
-from typing import TYPE_CHECKING, Dict, Iterator, List, Optional, Sequence, Set, Tuple, Union
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    Dict,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+    Union,
+)
 
 import numpy as np
 
@@ -238,6 +265,19 @@ class ExperimentStore:
     def _manifest_path(self, config_hash_: str) -> Path:
         return self.root / "manifests" / f"{config_hash_}.json"
 
+    def _dataset_path(self, collection_hash_: str) -> Path:
+        return self.root / "datasets" / f"{collection_hash_}.jsonl"
+
+    def _dataset_manifest_path(self, collection_hash_: str) -> Path:
+        return self.root / "manifests" / "datasets" / f"{collection_hash_}.json"
+
+    def model_dir(self, model_hash_: str) -> Path:
+        """The directory of a registered model (may not exist yet)."""
+        return self.root / "models" / model_hash_
+
+    def _model_index_path(self, spec_hash_: str) -> Path:
+        return self.root / "models" / "index" / f"{spec_hash_}.json"
+
     # ------------------------------------------------------------------ #
     # Append path
     # ------------------------------------------------------------------ #
@@ -255,8 +295,12 @@ class ExperimentStore:
         (crash/retry overlap); readers keep the last occurrence.
         """
         self._write_traces(record)
-        line = json.dumps(record.to_json_dict(), separators=(",", ":")) + "\n"
-        path = self._runs_path(record.config_hash)
+        self._append_jsonl(self._runs_path(record.config_hash), record.to_json_dict())
+
+    @staticmethod
+    def _append_jsonl(path: Path, payload: Dict[str, object]) -> None:
+        """Append one JSON line to a log (flock-exclusive, single write, fsynced)."""
+        line = json.dumps(payload, separators=(",", ":")) + "\n"
         path.parent.mkdir(parents=True, exist_ok=True)
         fd = os.open(path, os.O_RDWR | os.O_CREAT | os.O_APPEND, 0o644)
         with os.fdopen(fd, "r+b") as handle:
@@ -361,7 +405,11 @@ class ExperimentStore:
         return records
 
     def _scan_lines(self, config_hash_: str) -> Dict[int, Dict[str, object]]:
-        path = self._runs_path(config_hash_)
+        return self._scan_jsonl(self._runs_path(config_hash_), "run_index")
+
+    @staticmethod
+    def _scan_jsonl(path: Path, index_field: str) -> Dict[int, Dict[str, object]]:
+        """Read a JSONL log keyed by ``index_field`` (last occurrence wins)."""
         if not path.exists():
             return {}
         by_index: Dict[int, Dict[str, object]] = {}
@@ -376,7 +424,7 @@ class ExperimentStore:
                     # A torn line can only be the (crashed) tail of the log;
                     # everything before it is intact.
                     continue
-                by_index[int(payload["run_index"])] = payload
+                by_index[int(payload[index_field])] = payload
         return by_index
 
     def _load_traces(
@@ -429,6 +477,171 @@ class ExperimentStore:
                 if campaign_id is not None and record.campaign_id != campaign_id:
                     continue
                 yield record
+
+    # ------------------------------------------------------------------ #
+    # Dataset records — streamed safety-hijacker training collection
+    # ------------------------------------------------------------------ #
+
+    def append_dataset_point(
+        self,
+        collection_hash_: str,
+        point_index: int,
+        inputs: Sequence[Sequence[float]],
+        targets: Sequence[float],
+    ) -> None:
+        """Durably record one collected training grid point (multi-process safe).
+
+        ``inputs``/``targets`` are the sample rows the point contributed (zero
+        rows when the scripted attack never fired); floats survive the JSON
+        round-trip bit-exactly, which is what keeps a store-assembled dataset
+        identical to an in-memory one.
+        """
+        payload = {
+            "schema": SCHEMA_VERSION,
+            "point_index": int(point_index),
+            "inputs": [[float(value) for value in row] for row in inputs],
+            "targets": [float(value) for value in targets],
+        }
+        self._append_jsonl(self._dataset_path(collection_hash_), payload)
+
+    def dataset_point_indices(self, collection_hash_: str) -> Set[int]:
+        """The grid-point indices already durably collected (the resume skip set)."""
+        return set(self._scan_jsonl(self._dataset_path(collection_hash_), "point_index"))
+
+    def load_dataset_points(
+        self, collection_hash_: str
+    ) -> Dict[int, Tuple[List[List[float]], List[float]]]:
+        """All collected grid points, keyed by point index (last write wins)."""
+        by_index = self._scan_jsonl(self._dataset_path(collection_hash_), "point_index")
+        points: Dict[int, Tuple[List[List[float]], List[float]]] = {}
+        for point_index, payload in by_index.items():
+            schema = int(payload.get("schema", 0))
+            if schema > SCHEMA_VERSION:
+                raise ValueError(
+                    f"dataset point written by a newer schema ({schema} > {SCHEMA_VERSION})"
+                )
+            points[point_index] = (
+                [[float(value) for value in row] for row in payload["inputs"]],
+                [float(value) for value in payload["targets"]],
+            )
+        return points
+
+    def write_dataset_manifest(
+        self, collection_hash_: str, payload: Dict[str, object]
+    ) -> None:
+        """Record a collection's provenance (idempotent)."""
+        path = self._dataset_manifest_path(collection_hash_)
+        if path.exists():
+            return
+        document = {
+            "schema": SCHEMA_VERSION,
+            "collection_hash": collection_hash_,
+            **payload,
+        }
+        atomic_publish(
+            path,
+            lambda handle: handle.write(json.dumps(document, indent=2).encode("utf-8")),
+            durable=True,
+        )
+
+    def load_dataset_manifest(self, collection_hash_: str) -> Dict[str, object]:
+        """The provenance document of a stored collection."""
+        with self._dataset_manifest_path(collection_hash_).open(
+            "r", encoding="utf-8"
+        ) as handle:
+            return json.load(handle)
+
+    # ------------------------------------------------------------------ #
+    # Model registry — content-addressed trained predictors
+    # ------------------------------------------------------------------ #
+
+    def has_model(self, model_hash_: str) -> bool:
+        """Whether a model directory is fully published under this hash."""
+        return self.model_dir(model_hash_).is_dir()
+
+    def publish_model(
+        self,
+        model_hash_: str,
+        write: Callable[[Path], None],
+        metadata: Dict[str, object],
+    ) -> Path:
+        """Atomically publish a model directory under its content hash.
+
+        ``write`` populates a temporary sibling directory, which is then
+        renamed into place — readers never observe a half-written model, and
+        concurrent publishers of the same hash race benignly (the loser's
+        rename fails against the existing directory and is discarded: the
+        content address guarantees both wrote the same artifact).
+        """
+        final = self.model_dir(model_hash_)
+        if final.is_dir():
+            return final
+        final.parent.mkdir(parents=True, exist_ok=True)
+        staging = final.parent / f".tmp-{model_hash_}-{os.getpid()}"
+        try:
+            staging.mkdir(parents=True, exist_ok=True)
+            write(staging)
+            atomic_publish(
+                staging / "registry.json",
+                lambda handle: handle.write(
+                    json.dumps(
+                        {"schema": SCHEMA_VERSION, "model_hash": model_hash_, **metadata},
+                        indent=2,
+                    ).encode("utf-8")
+                ),
+                durable=True,
+            )
+            try:
+                os.replace(staging, final)
+            except OSError:
+                if not final.is_dir():
+                    raise
+        finally:
+            if staging.is_dir():
+                shutil.rmtree(staging, ignore_errors=True)
+        return final
+
+    def load_model_metadata(self, model_hash_: str) -> Dict[str, object]:
+        """The registry document published next to a model's artifact files."""
+        with (self.model_dir(model_hash_) / "registry.json").open(
+            "r", encoding="utf-8"
+        ) as handle:
+            return json.load(handle)
+
+    def register_model_spec(
+        self, spec_hash_: str, model_hash_: str, metadata: Optional[Dict[str, object]] = None
+    ) -> None:
+        """Map a training-spec hash to a published model (last write wins)."""
+        payload = {
+            "schema": SCHEMA_VERSION,
+            "spec_hash": spec_hash_,
+            "model_hash": model_hash_,
+            **(metadata or {}),
+        }
+        atomic_publish(
+            self._model_index_path(spec_hash_),
+            lambda handle: handle.write(json.dumps(payload, indent=2).encode("utf-8")),
+            durable=True,
+        )
+
+    def resolve_model_spec(self, spec_hash_: str) -> Optional[str]:
+        """The model hash registered for a training spec, if any."""
+        path = self._model_index_path(spec_hash_)
+        if not path.exists():
+            return None
+        with path.open("r", encoding="utf-8") as handle:
+            return str(json.load(handle)["model_hash"])
+
+    def model_hashes(self) -> List[str]:
+        """Every fully published model hash in the registry."""
+        directory = self.root / "models"
+        if not directory.exists():
+            return []
+        return sorted(
+            path.name
+            for path in directory.iterdir()
+            if path.is_dir() and path.name != "index" and not path.name.startswith(".")
+        )
 
     # ------------------------------------------------------------------ #
     # Aggregation — what results/tables/figures consume

@@ -11,6 +11,12 @@ from repro.nn.layers import Dense, Dropout, ReLU
 from repro.nn.losses import MeanSquaredError
 from repro.nn.network import FeedForwardNetwork
 from repro.nn.optimizers import SGD, Adam
+from repro.nn.serialization import (
+    load_network,
+    network_from_spec,
+    network_to_spec,
+    save_network,
+)
 from repro.nn.training import TrainingHistory, TrainingResult, train_network, train_validation_split
 
 __all__ = [
@@ -19,6 +25,10 @@ __all__ = [
     "ReLU",
     "MeanSquaredError",
     "FeedForwardNetwork",
+    "load_network",
+    "network_from_spec",
+    "network_to_spec",
+    "save_network",
     "Adam",
     "SGD",
     "TrainingHistory",

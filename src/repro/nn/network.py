@@ -8,7 +8,8 @@ neurons with ReLU activations and dropout rate 0.1, and a linear scalar output
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence
+from pathlib import Path
+from typing import Dict, List, Sequence, Union
 
 import numpy as np
 
@@ -95,6 +96,22 @@ class FeedForwardNetwork:
             {name: param.copy() for name, param in layer.parameters().items()}
             for layer in self.trainable_layers()
         ]
+
+    def save(self, path: Union[str, Path]) -> Path:
+        """Persist this network (architecture JSON + weights NPZ) under ``path``.
+
+        A loaded copy (:meth:`load`) produces bit-identical predictions.
+        """
+        from repro.nn.serialization import save_network
+
+        return save_network(self, path)
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "FeedForwardNetwork":
+        """Rebuild a network previously persisted with :meth:`save`."""
+        from repro.nn.serialization import load_network
+
+        return load_network(path)
 
     def set_weights(self, weights: List[Dict[str, np.ndarray]]) -> None:
         """Load parameters previously produced by :meth:`get_weights`."""

@@ -6,7 +6,7 @@ and testing.
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Any, Dict, List
 
 import numpy as np
 
@@ -16,7 +16,28 @@ __all__ = ["Optimizer", "SGD", "Adam"]
 
 
 class Optimizer:
-    """Base class: updates layer parameters in place from their gradients."""
+    """Base class: updates layer parameters in place from their gradients.
+
+    Per-layer state (momentum, moment estimates, step counts) is keyed by the
+    layer *object*, and the optimizer holds a strong reference to every layer
+    it has seen.  Keying by ``id()`` alone is unsound: once a layer is garbage
+    collected its id can be reused by an unrelated layer, which would then
+    silently inherit stale state.  The strong reference pins the id for the
+    optimizer's lifetime, and the identity check below hands a brand-new layer
+    a brand-new state slot.
+    """
+
+    def __init__(self) -> None:
+        self._retained: Dict[int, Layer] = {}
+        self._slots: Dict[int, Dict[str, Any]] = {}
+
+    def _layer_state(self, layer: Layer) -> Dict[str, Any]:
+        """The state slot owned by exactly this layer object."""
+        key = id(layer)
+        if self._retained.get(key) is not layer:
+            self._retained[key] = layer
+            self._slots[key] = {}
+        return self._slots[key]
 
     def step(self, layers: List[Layer]) -> None:
         """Apply one update to every trainable parameter in ``layers``."""
@@ -27,13 +48,13 @@ class SGD(Optimizer):
     """Plain stochastic gradient descent with optional momentum."""
 
     def __init__(self, learning_rate: float = 1e-2, momentum: float = 0.0):
+        super().__init__()
         if learning_rate <= 0:
             raise ValueError("learning rate must be positive")
         if not 0.0 <= momentum < 1.0:
             raise ValueError("momentum must be in [0, 1)")
         self.learning_rate = learning_rate
         self.momentum = momentum
-        self._velocity: Dict[int, Dict[str, np.ndarray]] = {}
 
     def step(self, layers: List[Layer]) -> None:
         for layer in layers:
@@ -41,7 +62,7 @@ class SGD(Optimizer):
             grads = layer.gradients()
             if not params:
                 continue
-            state = self._velocity.setdefault(id(layer), {})
+            state = self._layer_state(layer).setdefault("velocity", {})
             for name, param in params.items():
                 grad = grads[name]
                 if self.momentum > 0.0:
@@ -54,7 +75,12 @@ class SGD(Optimizer):
 
 
 class Adam(Optimizer):
-    """Adam optimizer (Kingma & Ba), used to train the safety hijacker."""
+    """Adam optimizer (Kingma & Ba), used to train the safety hijacker.
+
+    The bias-correction step count is tracked per layer, not globally: a
+    fresh network trained through a shared optimizer starts its correction
+    schedule from t=1, exactly as if it had a fresh optimizer.
+    """
 
     def __init__(
         self,
@@ -63,6 +89,7 @@ class Adam(Optimizer):
         beta2: float = 0.999,
         epsilon: float = 1e-8,
     ):
+        super().__init__()
         if learning_rate <= 0:
             raise ValueError("learning rate must be positive")
         if not 0.0 <= beta1 < 1.0 or not 0.0 <= beta2 < 1.0:
@@ -71,25 +98,23 @@ class Adam(Optimizer):
         self.beta1 = beta1
         self.beta2 = beta2
         self.epsilon = epsilon
-        self._m: Dict[int, Dict[str, np.ndarray]] = {}
-        self._v: Dict[int, Dict[str, np.ndarray]] = {}
-        self._t = 0
 
     def step(self, layers: List[Layer]) -> None:
-        self._t += 1
         for layer in layers:
             params = layer.parameters()
             grads = layer.gradients()
             if not params:
                 continue
-            m_state = self._m.setdefault(id(layer), {})
-            v_state = self._v.setdefault(id(layer), {})
+            slots = self._layer_state(layer)
+            slots["t"] = t = slots.get("t", 0) + 1
+            m_state = slots.setdefault("m", {})
+            v_state = slots.setdefault("v", {})
             for name, param in params.items():
                 grad = grads[name]
                 m = m_state.setdefault(name, np.zeros_like(param))
                 v = v_state.setdefault(name, np.zeros_like(param))
                 m[...] = self.beta1 * m + (1.0 - self.beta1) * grad
                 v[...] = self.beta2 * v + (1.0 - self.beta2) * grad * grad
-                m_hat = m / (1.0 - self.beta1**self._t)
-                v_hat = v / (1.0 - self.beta2**self._t)
+                m_hat = m / (1.0 - self.beta1**t)
+                v_hat = v / (1.0 - self.beta2**t)
                 param -= self.learning_rate * m_hat / (np.sqrt(v_hat) + self.epsilon)

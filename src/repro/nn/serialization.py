@@ -1,0 +1,146 @@
+"""Saving and loading feed-forward networks (architecture JSON + weights NPZ).
+
+A trained safety-hijacker oracle is the product of hundreds of seeded
+simulation runs plus a full training loop — far too expensive to rebuild in
+every campaign process.  This module makes networks durable artifacts:
+
+* the *architecture* is described by a small JSON document (one entry per
+  layer: dense dimensions, activation kinds, dropout rates) so a loaded
+  network is rebuilt layer-for-layer rather than unpickled;
+* the *weights* travel in a sibling NPZ archive whose float64 arrays
+  round-trip bit-exactly, so a reloaded network produces predictions that
+  are bit-identical to the network that was saved.
+
+The on-disk layout of :func:`save_network` is a directory::
+
+    <path>/
+      architecture.json   # {"format": ..., "version": 1, "layers": [...]}
+      weights.npz         # layer00_weights, layer00_bias, layer01_weights, ...
+
+Both files are published atomically (temp file + rename), so a reader never
+observes a half-written artifact.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Union
+
+import numpy as np
+
+from repro.nn.layers import Dense, Dropout, Layer, ReLU
+from repro.nn.network import FeedForwardNetwork
+from repro.runtime.cache import atomic_publish
+
+__all__ = [
+    "network_to_spec",
+    "network_from_spec",
+    "save_network",
+    "load_network",
+]
+
+#: Format tag of the architecture document; readers reject other formats.
+NETWORK_FORMAT = "repro-feed-forward-network"
+
+#: Bump when the architecture schema changes incompatibly.
+NETWORK_VERSION = 1
+
+
+def network_to_spec(network: FeedForwardNetwork) -> Dict[str, object]:
+    """Describe a network's architecture as a JSON-safe document."""
+    layers: List[Dict[str, object]] = []
+    for layer in network.layers:
+        if isinstance(layer, Dense):
+            layers.append(
+                {
+                    "kind": "dense",
+                    "in_features": layer.in_features,
+                    "out_features": layer.out_features,
+                }
+            )
+        elif isinstance(layer, ReLU):
+            layers.append({"kind": "relu"})
+        elif isinstance(layer, Dropout):
+            layers.append({"kind": "dropout", "rate": layer.rate})
+        else:
+            raise TypeError(
+                f"cannot serialize layer of type {type(layer).__name__}; "
+                "extend network_to_spec/network_from_spec for new layer kinds"
+            )
+    return {"format": NETWORK_FORMAT, "version": NETWORK_VERSION, "layers": layers}
+
+
+def network_from_spec(
+    spec: Dict[str, object], rng: np.random.Generator | None = None
+) -> FeedForwardNetwork:
+    """Rebuild a network skeleton from :func:`network_to_spec` output.
+
+    The dense layers come back with freshly initialized weights (``rng``);
+    :func:`load_network` immediately overwrites them from the NPZ archive.
+    """
+    if spec.get("format") != NETWORK_FORMAT:
+        raise ValueError(f"not a serialized network: format={spec.get('format')!r}")
+    version = int(spec.get("version", 0))
+    if version > NETWORK_VERSION:
+        raise ValueError(
+            f"network saved by a newer serialization version ({version} > {NETWORK_VERSION})"
+        )
+    rng = rng if rng is not None else np.random.default_rng()
+    layers: List[Layer] = []
+    for entry in spec["layers"]:  # type: ignore[union-attr]
+        kind = entry["kind"]
+        if kind == "dense":
+            layers.append(
+                Dense(int(entry["in_features"]), int(entry["out_features"]), rng=rng)
+            )
+        elif kind == "relu":
+            layers.append(ReLU())
+        elif kind == "dropout":
+            layers.append(Dropout(float(entry["rate"]), rng=rng))
+        else:
+            raise ValueError(f"unknown layer kind {kind!r} in network spec")
+    return FeedForwardNetwork(layers)
+
+
+def _weights_payload(network: FeedForwardNetwork) -> Dict[str, np.ndarray]:
+    payload: Dict[str, np.ndarray] = {}
+    for index, layer in enumerate(network.trainable_layers()):
+        for name, param in layer.parameters().items():
+            payload[f"layer{index:02d}_{name}"] = np.asarray(param, dtype=np.float64)
+    return payload
+
+
+def save_network(network: FeedForwardNetwork, path: Union[str, Path]) -> Path:
+    """Persist a network (architecture JSON + weights NPZ) under ``path``."""
+    directory = Path(path).expanduser()
+    directory.mkdir(parents=True, exist_ok=True)
+    spec = network_to_spec(network)
+    atomic_publish(
+        directory / "architecture.json",
+        lambda handle: handle.write(json.dumps(spec, indent=2).encode("utf-8")),
+    )
+    payload = _weights_payload(network)
+    atomic_publish(
+        directory / "weights.npz", lambda handle: np.savez_compressed(handle, **payload)
+    )
+    return directory
+
+
+def load_network(path: Union[str, Path]) -> FeedForwardNetwork:
+    """Rebuild a network saved by :func:`save_network` (bit-exact weights)."""
+    directory = Path(path).expanduser()
+    with (directory / "architecture.json").open("r", encoding="utf-8") as handle:
+        spec = json.load(handle)
+    network = network_from_spec(spec)
+    trainable = network.trainable_layers()
+    with np.load(directory / "weights.npz") as archive:
+        weights = [
+            {
+                name: archive[f"layer{index:02d}_{name}"]
+                for name in layer.parameters()
+            }
+            for index, layer in enumerate(trainable)
+        ]
+    network.set_weights(weights)
+    return network

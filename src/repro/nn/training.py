@@ -105,7 +105,9 @@ def train_network(
 
     for _ in range(epochs):
         order = rng.permutation(n_train)
-        epoch_losses: List[float] = []
+        # Per-batch losses are averaged weighted by batch size: a ragged final
+        # batch (n_train % batch_size != 0) must not bias the epoch loss.
+        epoch_loss_sum = 0.0
         for start in range(0, n_train, batch_size):
             batch_idx = order[start : start + batch_size]
             x_batch = x_train[batch_idx]
@@ -115,8 +117,8 @@ def train_network(
             grad = loss_fn.backward(predictions, y_batch)
             network.backward(grad)
             optimizer.step(network.trainable_layers())
-            epoch_losses.append(batch_loss)
-        history.train_loss.append(float(np.mean(epoch_losses)))
+            epoch_loss_sum += batch_loss * len(batch_idx)
+        history.train_loss.append(float(epoch_loss_sum / n_train))
         if x_val.shape[0] > 0:
             val_predictions = network.predict(x_val)
             history.validation_loss.append(loss_fn.forward(val_predictions, y_val))

@@ -59,16 +59,31 @@ class KalmanFilter:
         return self.state.copy()
 
     def update(self, measurement: np.ndarray) -> np.ndarray:
-        """Run the update step with a measurement and return the new state."""
+        """Run the update step with a measurement and return the new state.
+
+        The gain solves ``K S = P Hᵀ`` directly (no explicit inverse) and the
+        covariance uses the Joseph form ``(I−KH) P (I−KH)ᵀ + K R Kᵀ``, which —
+        unlike the textbook ``(I−KH) P`` shortcut — keeps the covariance
+        symmetric positive-semidefinite under floating-point error over long
+        tracks; a final explicit symmetrization removes the last-bit asymmetry
+        of the matrix products themselves.
+        """
         measurement = np.asarray(measurement, dtype=float).reshape(-1)
         innovation = measurement - self.observation @ self.state
         innovation_cov = (
             self.observation @ self.covariance @ self.observation.T + self.measurement_noise
         )
-        gain = self.covariance @ self.observation.T @ np.linalg.inv(innovation_cov)
+        gain = np.linalg.solve(
+            innovation_cov.T, (self.covariance @ self.observation.T).T
+        ).T
         self.state = self.state + gain @ innovation
         identity = np.eye(self.state.shape[0])
-        self.covariance = (identity - gain @ self.observation) @ self.covariance
+        i_kh = identity - gain @ self.observation
+        self.covariance = (
+            i_kh @ self.covariance @ i_kh.T
+            + gain @ self.measurement_noise @ gain.T
+        )
+        self.covariance = 0.5 * (self.covariance + self.covariance.T)
         return self.state.copy()
 
     def predicted_measurement(self) -> np.ndarray:

@@ -190,6 +190,65 @@ class TestPredictorTraining:
             dataset.merged_with(other)
 
 
+class TestStoreBackedPredictor:
+    """The train-once/deploy-many path: campaigns load oracles from the store."""
+
+    def test_predictor_loads_from_registry_instead_of_retraining(self, tmp_path, monkeypatch):
+        from repro.experiments import campaign as campaign_module
+        from repro.experiments.campaign import clear_caches
+        from repro.experiments.store import ExperimentStore
+
+        store = ExperimentStore(tmp_path)
+        clear_caches()
+        trained = get_or_train_predictor(
+            "DS-2", AttackVector.DISAPPEAR, seed=17, training_epochs=3, store=store
+        )
+        assert isinstance(trained, NeuralSafetyPredictor)
+        assert store.model_hashes()  # the oracle was published
+
+        # A "new process": wipe the in-memory cache and forbid retraining.
+        clear_caches()
+
+        def forbidden(*args, **kwargs):  # pragma: no cover - must not run
+            raise AssertionError("a registered oracle must be loaded, not retrained")
+
+        monkeypatch.setattr(campaign_module, "train_and_register_predictor", forbidden)
+        loaded = get_or_train_predictor(
+            "DS-2", AttackVector.DISAPPEAR, seed=17, training_epochs=3, store=store
+        )
+        raw = np.random.default_rng(0).normal(size=(8, 4)) * 10.0
+        np.testing.assert_array_equal(loaded.predict_batch(raw), trained.predict_batch(raw))
+        clear_caches()
+
+    def test_each_store_receives_its_own_published_model(self, tmp_path):
+        # The predictor cache key includes the store root: a second store in
+        # the same process must still get the publish-to-registry side effect.
+        from repro.experiments.campaign import clear_caches
+        from repro.experiments.store import ExperimentStore
+
+        store_a = ExperimentStore(tmp_path / "a")
+        store_b = ExperimentStore(tmp_path / "b")
+        clear_caches()
+        get_or_train_predictor(
+            "DS-2", AttackVector.DISAPPEAR, seed=17, training_epochs=2, store=store_a
+        )
+        get_or_train_predictor(
+            "DS-2", AttackVector.DISAPPEAR, seed=17, training_epochs=2, store=store_b
+        )
+        assert store_a.model_hashes() == store_b.model_hashes() != []
+        clear_caches()
+
+    def test_kinematic_predictor_ignores_the_store(self, tmp_path):
+        from repro.experiments.store import ExperimentStore
+
+        predictor = get_or_train_predictor(
+            "DS-1", AttackVector.DISAPPEAR, kind=PredictorKind.KINEMATIC,
+            store=ExperimentStore(tmp_path),
+        )
+        assert isinstance(predictor, KinematicSafetyPredictor)
+        assert not (tmp_path / "models").exists()
+
+
 class TestCharacterization:
     def test_fig5_report_structure(self):
         report = characterize_detector(duration_s=25.0, seed=3)

@@ -285,6 +285,91 @@ class TestConcurrentWriters:
 
 
 # --------------------------------------------------------------------- #
+# Dataset records and the model registry
+# --------------------------------------------------------------------- #
+
+_COLLECTION_HASH = "c" * 64
+
+
+class TestDatasetRecords:
+    def test_append_then_load_round_trips_floats_exactly(self, tmp_path):
+        store = ExperimentStore(tmp_path)
+        inputs = [[0.1 + 0.2, -3.725290298461914e-09, 1e308, 42.0]]
+        targets = [17.000000000000004]
+        store.append_dataset_point(_COLLECTION_HASH, 3, inputs, targets)
+        points = store.load_dataset_points(_COLLECTION_HASH)
+        assert points == {3: (inputs, targets)}
+
+    def test_empty_sample_batch_is_a_recorded_point(self, tmp_path):
+        # A grid point whose scripted attack never fired still checkpoints
+        # (with zero rows) so a resume does not re-simulate it.
+        store = ExperimentStore(tmp_path)
+        store.append_dataset_point(_COLLECTION_HASH, 0, [], [])
+        assert store.dataset_point_indices(_COLLECTION_HASH) == {0}
+        assert store.load_dataset_points(_COLLECTION_HASH) == {0: ([], [])}
+
+    def test_reappend_same_point_last_write_wins(self, tmp_path):
+        store = ExperimentStore(tmp_path)
+        store.append_dataset_point(_COLLECTION_HASH, 1, [[1.0]], [1.0])
+        store.append_dataset_point(_COLLECTION_HASH, 1, [[2.0]], [2.0])
+        assert store.load_dataset_points(_COLLECTION_HASH) == {1: ([[2.0]], [2.0])}
+
+    def test_dataset_manifest_is_idempotent(self, tmp_path):
+        store = ExperimentStore(tmp_path)
+        store.write_dataset_manifest(_COLLECTION_HASH, {"n_points": 4})
+        store.write_dataset_manifest(_COLLECTION_HASH, {"n_points": 999})
+        manifest = store.load_dataset_manifest(_COLLECTION_HASH)
+        assert manifest["n_points"] == 4
+        assert manifest["collection_hash"] == _COLLECTION_HASH
+
+    def test_collections_are_isolated(self, tmp_path):
+        store = ExperimentStore(tmp_path)
+        store.append_dataset_point("a" * 64, 0, [[1.0]], [1.0])
+        assert store.dataset_point_indices("b" * 64) == set()
+
+
+class TestModelRegistry:
+    _MODEL_HASH = "d" * 64
+
+    def _publish(self, store, content="weights"):
+        def write(staging):
+            (staging / "artifact.txt").write_text(content)
+
+        return store.publish_model(self._MODEL_HASH, write, {"scenario_id": "DS-2"})
+
+    def test_publish_is_atomic_and_readable(self, tmp_path):
+        store = ExperimentStore(tmp_path)
+        final = self._publish(store)
+        assert store.has_model(self._MODEL_HASH)
+        assert (final / "artifact.txt").read_text() == "weights"
+        metadata = store.load_model_metadata(self._MODEL_HASH)
+        assert metadata["model_hash"] == self._MODEL_HASH
+        assert metadata["scenario_id"] == "DS-2"
+        # No staging leftovers.
+        assert not list((tmp_path / "models").glob(".tmp-*"))
+
+    def test_republish_same_hash_is_a_no_op(self, tmp_path):
+        store = ExperimentStore(tmp_path)
+        self._publish(store, content="first")
+        self._publish(store, content="second")  # content-addressed: same artifact
+        assert (store.model_dir(self._MODEL_HASH) / "artifact.txt").read_text() == "first"
+
+    def test_spec_index_round_trip(self, tmp_path):
+        store = ExperimentStore(tmp_path)
+        spec_hash = "e" * 64
+        assert store.resolve_model_spec(spec_hash) is None
+        store.register_model_spec(spec_hash, self._MODEL_HASH, {"scenario_id": "DS-2"})
+        assert store.resolve_model_spec(spec_hash) == self._MODEL_HASH
+
+    def test_model_hashes_excludes_index_and_staging(self, tmp_path):
+        store = ExperimentStore(tmp_path)
+        self._publish(store)
+        store.register_model_spec("f" * 64, self._MODEL_HASH)
+        (tmp_path / "models" / ".tmp-leftover").mkdir()
+        assert store.model_hashes() == [self._MODEL_HASH]
+
+
+# --------------------------------------------------------------------- #
 # Queries
 # --------------------------------------------------------------------- #
 

@@ -1,10 +1,14 @@
 """Tests for the feed-forward network, losses, optimizers, and training loop."""
 
+import gc
+import weakref
+
 import numpy as np
 import pytest
 
 from repro.nn import (
     Adam,
+    Dense,
     FeedForwardNetwork,
     MeanSquaredError,
     SGD,
@@ -117,6 +121,60 @@ class TestOptimizers:
         with pytest.raises(ValueError):
             SGD(momentum=1.5)
 
+    @staticmethod
+    def _dense_with_unit_grad() -> Dense:
+        layer = Dense(1, 1, rng=np.random.default_rng(0))
+        layer.weights[...] = 0.0
+        layer.bias[...] = 0.0
+        layer.grad_weights = np.array([[1.0]])
+        layer.grad_bias = np.array([0.0])
+        return layer
+
+    def test_optimizer_pins_layers_against_id_reuse(self):
+        # State is keyed by id(layer); the optimizer must hold a strong
+        # reference so a collected layer's id can never be recycled by an
+        # unrelated layer that would then inherit stale moment estimates.
+        optimizer = Adam()
+        layer = self._dense_with_unit_grad()
+        ref = weakref.ref(layer)
+        optimizer.step([layer])
+        del layer
+        gc.collect()
+        assert ref() is not None
+
+    def test_fresh_layer_gets_fresh_adam_state(self):
+        # After many steps on one layer, a brand-new layer must start from
+        # zero moments and t=1: its first bias-corrected update is exactly
+        # lr * g / (|g| + eps).  Stale moments or a shared global step count
+        # would both produce a visibly different first update.
+        optimizer = Adam(learning_rate=0.1)
+        veteran = self._dense_with_unit_grad()
+        for _ in range(50):
+            optimizer.step([veteran])
+        fresh = self._dense_with_unit_grad()
+        optimizer.step([fresh])
+        assert fresh.weights[0, 0] == pytest.approx(-0.1, rel=1e-6)
+
+    def test_two_networks_sharing_one_optimizer_train_independently(self, rng):
+        # Training net B through an optimizer that already trained net A must
+        # produce exactly the weights net B would get from a fresh optimizer.
+        x = rng.uniform(-1, 1, size=(40, 1))
+        y = 2.0 * x
+        shared = Adam(learning_rate=0.01)
+        net_a = FeedForwardNetwork.mlp(1, (8,), 1, rng=np.random.default_rng(1))
+        train_network(net_a, x, y, epochs=5, optimizer=shared, rng=np.random.default_rng(2))
+
+        net_b = FeedForwardNetwork.mlp(1, (8,), 1, rng=np.random.default_rng(3))
+        net_c = FeedForwardNetwork.mlp(1, (8,), 1, rng=np.random.default_rng(3))
+        train_network(net_b, x, y, epochs=5, optimizer=shared, rng=np.random.default_rng(4))
+        train_network(
+            net_c, x, y, epochs=5, optimizer=Adam(learning_rate=0.01),
+            rng=np.random.default_rng(4),
+        )
+        for shared_weights, fresh_weights in zip(net_b.get_weights(), net_c.get_weights()):
+            for name in shared_weights:
+                np.testing.assert_array_equal(shared_weights[name], fresh_weights[name])
+
 
 class TestTrainNetwork:
     def test_learns_linear_function(self, rng):
@@ -147,3 +205,35 @@ class TestTrainNetwork:
         network = FeedForwardNetwork.mlp(1, (4,), 1, rng=rng)
         with pytest.raises(ValueError):
             train_network(network, np.ones((4, 1)), np.ones((4, 1)), epochs=0, rng=rng)
+
+    def test_epoch_loss_weights_ragged_final_batch(self, rng):
+        # 10 samples -> 6 train; batch_size 4 leaves a ragged batch of 2.  With
+        # a (practically) frozen network the reported epoch loss must equal the
+        # loss over the whole training split — i.e. the per-batch losses
+        # averaged weighted by batch size, not the unweighted batch mean.
+        inputs = rng.uniform(-1, 1, size=(10, 1))
+        targets = rng.uniform(-1, 1, size=(10, 1))
+        network = FeedForwardNetwork.mlp(1, (4,), 1, rng=np.random.default_rng(0))
+        result = train_network(
+            network, inputs, targets, epochs=1, batch_size=4,
+            optimizer=SGD(learning_rate=1e-15), rng=np.random.default_rng(5),
+        )
+        # Replay the split and shuffle with the identical rng stream.
+        replay_rng = np.random.default_rng(5)
+        x_train, y_train, _, _ = train_validation_split(
+            inputs, targets, train_fraction=0.6, rng=replay_rng
+        )
+        order = replay_rng.permutation(len(x_train))
+        loss_fn = MeanSquaredError()
+        batch_losses = []
+        batch_sizes = []
+        for start in range(0, len(x_train), 4):
+            batch_idx = order[start : start + 4]
+            batch_losses.append(
+                loss_fn.forward(network.predict(x_train[batch_idx]), y_train[batch_idx])
+            )
+            batch_sizes.append(len(batch_idx))
+        weighted = sum(l * n for l, n in zip(batch_losses, batch_sizes)) / sum(batch_sizes)
+        unweighted = float(np.mean(batch_losses))
+        assert abs(weighted - unweighted) > 1e-6  # the bug would be visible here
+        assert result.history.train_loss[0] == pytest.approx(weighted, rel=1e-9)

@@ -71,6 +71,28 @@ class TestKalmanFilter:
             errors_filtered.append(abs(kf.state[0] - true_position))
         assert np.mean(errors_filtered[50:]) < np.mean(errors_raw[50:])
 
+    def test_covariance_stays_symmetric_psd_over_long_track(self):
+        # Joseph-form regression: the textbook (I-KH)P covariance update can
+        # drift off-symmetric/PSD under floating-point error over long tracks.
+        kf = make_1d_constant_velocity_filter(q=1e-4, r=0.5)
+        rng = np.random.default_rng(1)
+        for step in range(1, 1001):
+            kf.predict()
+            kf.update(np.array([2.0 * step + rng.normal(0, 0.7)]))
+            assert np.array_equal(kf.covariance, kf.covariance.T), step
+            assert np.linalg.eigvalsh(kf.covariance).min() >= -1e-12, step
+
+    def test_update_uses_no_explicit_inverse(self, monkeypatch):
+        # np.linalg.solve is better conditioned than forming S^-1; make sure
+        # the implementation never regresses to the explicit inverse.
+        def forbidden(*args, **kwargs):  # pragma: no cover - defensive
+            raise AssertionError("KalmanFilter.update must not call np.linalg.inv")
+
+        monkeypatch.setattr(np.linalg, "inv", forbidden)
+        kf = make_1d_constant_velocity_filter()
+        kf.predict()
+        kf.update(np.array([1.0]))
+
     def test_predicted_measurement_matches_observation_model(self):
         kf = make_1d_constant_velocity_filter()
         kf.update(np.array([3.0]))

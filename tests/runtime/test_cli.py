@@ -162,6 +162,57 @@ class TestSweepCli:
         assert "Sweep of 7 points" in capsys.readouterr().out
 
 
+class TestTrainCli:
+    _ARGS = [
+        "train", "--scenario", "DS-2", "--vector", "disappear",
+        "--epochs", "3", "--repeats", "1",
+    ]
+
+    def test_train_collects_trains_and_registers(self, tmp_path, capsys):
+        code = main(self._ARGS + ["--store", str(tmp_path)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Collecting 24 scripted-attack grid points" in out
+        assert "train loss" in out
+        assert "Registered model" in out
+        from repro.experiments.store import ExperimentStore
+
+        store = ExperimentStore(tmp_path)
+        assert len(store.model_hashes()) == 1
+        assert list(tmp_path.glob("datasets/*.jsonl"))
+
+    def test_second_train_reports_registered_model(self, tmp_path, capsys):
+        assert main(self._ARGS + ["--store", str(tmp_path)]) == 0
+        capsys.readouterr()
+        assert main(self._ARGS + ["--store", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "Already trained" in out
+        # The loss curves are reported from the registry metadata.
+        assert "train loss" in out
+
+    def test_force_retrains_over_registered_model(self, tmp_path, capsys):
+        assert main(self._ARGS + ["--store", str(tmp_path)]) == 0
+        capsys.readouterr()
+        assert main(self._ARGS + ["--store", str(tmp_path), "--force"]) == 0
+        out = capsys.readouterr().out
+        assert "Registered model" in out
+
+    def test_unknown_scenario_exits_with_error(self):
+        with pytest.raises(SystemExit, match="unknown scenario"):
+            main(["train", "--scenario", "DS-99", "--vector", "disappear",
+                  "--store", "/unused"])
+
+    def test_unknown_vector_exits_with_error(self):
+        with pytest.raises(SystemExit):
+            main(["train", "--scenario", "DS-2", "--vector", "teleport",
+                  "--store", "/unused"])
+
+    def test_top_level_flags_before_train_are_rejected(self):
+        with pytest.raises(SystemExit, match="after the 'train' subcommand"):
+            main(["--seed", "5", "train", "--scenario", "DS-2",
+                  "--vector", "disappear", "--store", "/unused"])
+
+
 class TestResumeCli:
     def test_resume_completes_interrupted_campaigns(self, tmp_path, capsys):
         from repro.experiments.campaign import (
