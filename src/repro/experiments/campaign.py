@@ -413,16 +413,30 @@ def _true_delta_at_attack_end(
     return float(trace[index])
 
 
-def run_single_experiment_record(
+@dataclasses.dataclass
+class _RunSetup:
+    """Everything a seeded run needs before its simulator starts stepping."""
+
+    run_index: int
+    run_seed: int
+    variation: ScenarioVariation
+    scenario: DrivingScenario
+    ads: AdsAgent
+    attacker: Optional[CameraMitmAttackerBase]
+    sim_rng: np.random.Generator
+
+
+def _build_run_setup(
     config: CampaignConfig,
     run_index: int,
     predictor: Optional[SafetyPredictor] = None,
-) -> RunRecord:
-    """Execute one seeded run and flatten it into a durable :class:`RunRecord`.
+) -> _RunSetup:
+    """Derive one run's scenario, agent, attacker, and RNGs from its seed.
 
-    ``predictor`` lets the campaign runner pre-train the safety-potential
-    oracle in the parent process and ship it to worker processes; when omitted
-    (direct calls), the per-process predictor cache is consulted as before.
+    The draw order on ``rng`` (ads seed, attacker seed, simulator seed — the
+    attacker seed is drawn even for :attr:`AttackerKind.NONE`) is the
+    determinism contract shared by the scalar and batch engines; changing it
+    changes every stored trace.
     """
     run_seed = int(np.random.SeedSequence([config.seed, run_index]).generate_state(1)[0])
     rng = np.random.default_rng(run_seed)
@@ -440,25 +454,56 @@ def run_single_experiment_record(
         np.random.default_rng(int(rng.integers(0, 2**31 - 1))),
         predictor=predictor,
     )
-    simulator = Simulator(
-        scenario,
-        ads,
-        config=config.simulation,
+    return _RunSetup(
+        run_index=run_index,
+        run_seed=run_seed,
+        variation=variation,
+        scenario=scenario,
+        ads=ads,
         attacker=attacker,
-        rng=np.random.default_rng(int(rng.integers(0, 2**31 - 1))),
+        sim_rng=np.random.default_rng(int(rng.integers(0, 2**31 - 1))),
     )
-    result = simulator.run()
 
+
+def run_single_experiment_record(
+    config: CampaignConfig,
+    run_index: int,
+    predictor: Optional[SafetyPredictor] = None,
+) -> RunRecord:
+    """Execute one seeded run and flatten it into a durable :class:`RunRecord`.
+
+    ``predictor`` lets the campaign runner pre-train the safety-potential
+    oracle in the parent process and ship it to worker processes; when omitted
+    (direct calls), the per-process predictor cache is consulted as before.
+    """
+    setup = _build_run_setup(config, run_index, predictor=predictor)
+    simulator = Simulator(
+        setup.scenario,
+        setup.ads,
+        config=config.simulation,
+        attacker=setup.attacker,
+        rng=setup.sim_rng,
+    )
+    return _record_from_result(config, setup, simulator.run())
+
+
+def _record_from_result(
+    config: CampaignConfig, setup: _RunSetup, result: SimulationResult
+) -> RunRecord:
+    """Flatten a finished run into the durable, store-appendable record."""
+    attacker = setup.attacker
     record = attacker.record if attacker is not None else None
     min_delta = result.min_true_delta_from_attack()
     accident = result.accident_occurred(config.simulation.halt_gap_m)
     run_result = RunResult(
-        run_index=run_index,
-        seed=run_seed,
+        run_index=setup.run_index,
+        seed=setup.run_seed,
         scenario_id=config.scenario_id,
         attacker_kind=config.attacker.value,
         vector=record.vector if record is not None else None,
-        target_kind=record.target_kind if record is not None else scenario.target_kind,
+        target_kind=(
+            record.target_kind if record is not None else setup.scenario.target_kind
+        ),
         attack_launched=bool(record.launched) if record is not None else False,
         emergency_braking=result.emergency_braking_occurred,
         collision=result.collision_occurred,
@@ -482,9 +527,9 @@ def run_single_experiment_record(
     return RunRecord(
         config_hash=config_hash(config),
         campaign_id=config.campaign_id,
-        run_index=run_index,
-        seed=run_seed,
-        variation=variation,
+        run_index=setup.run_index,
+        seed=setup.run_seed,
+        variation=setup.variation,
         result=run_result,
         steps_executed=result.steps_executed,
         duration_s=result.duration_s,
@@ -505,6 +550,55 @@ def run_single_experiment(
 ) -> RunResult:
     """Execute one seeded run of a campaign and summarize it."""
     return run_single_experiment_record(config, run_index, predictor=predictor).result
+
+
+#: Lanes per :class:`~repro.sim.batch.BatchSimulator` when ``engine="batch"``.
+DEFAULT_BATCH_SIZE = 16
+
+
+def _validate_engine(engine: str, batch_size: int) -> None:
+    if engine not in ("scalar", "batch"):
+        raise ValueError(f"unknown engine {engine!r}: expected 'scalar' or 'batch'")
+    if batch_size < 1:
+        raise ValueError("batch_size must be at least 1")
+
+
+def _chunked(indices: Sequence[int], size: int) -> List[List[int]]:
+    return [list(indices[start:start + size]) for start in range(0, len(indices), size)]
+
+
+def _run_batch_chunk(
+    config: CampaignConfig,
+    run_indices: Sequence[int],
+    predictor: Optional[SafetyPredictor] = None,
+) -> List[RunRecord]:
+    """Execute a chunk of runs in lockstep on one :class:`BatchSimulator`.
+
+    Because every run is independently seeded by :func:`_build_run_setup` and
+    the batch engine is bit-identical to the scalar path, the records this
+    produces are interchangeable with ``run_single_experiment_record`` output
+    — same cache keys, same store layout, same statistics.
+    """
+    from repro.sim.batch import BatchRunSpec, BatchSimulator
+
+    setups = [
+        _build_run_setup(config, run_index, predictor=predictor)
+        for run_index in run_indices
+    ]
+    specs = [
+        BatchRunSpec(
+            scenario=setup.scenario,
+            ads=setup.ads,
+            attacker=setup.attacker,
+            rng=setup.sim_rng,
+        )
+        for setup in setups
+    ]
+    results = BatchSimulator(specs, config=config.simulation).run()
+    return [
+        _record_from_result(config, setup, result)
+        for setup, result in zip(setups, results)
+    ]
 
 
 def _prepare_predictor(
@@ -536,6 +630,8 @@ def _run_campaign_checkpointed(
     config: CampaignConfig,
     store: ExperimentStore,
     executor: ExecutorLike,
+    engine: str = "scalar",
+    batch_size: int = DEFAULT_BATCH_SIZE,
 ) -> CampaignResult:
     """Stream a campaign's runs into the store, skipping already-stored ones.
 
@@ -544,7 +640,11 @@ def _run_campaign_checkpointed(
     the runs in flight.  On restart, the stored (config-hash, run-index)
     pairs are skipped, and because every run is independently seeded from
     ``(campaign_seed, run_index)``, the merged statistics are bit-identical
-    to an uninterrupted serial campaign.
+    to an uninterrupted serial campaign.  With ``engine="batch"`` the pending
+    indices are chunked onto lockstep :class:`BatchSimulator` lanes instead
+    (checkpoint granularity becomes one chunk); resuming a campaign with a
+    different engine or chunk size is safe because records only depend on the
+    per-run seed.
     """
     store.write_manifest(config)
     done = store.run_indices(config_hash(config))
@@ -556,11 +656,17 @@ def _run_campaign_checkpointed(
             # published (train-once/deploy-many); a registry miss trains it
             # here, fanning the dataset collection out over the same pool.
             predictor = _prepare_predictor(config, store=store, executor=resolved)
-            worker = functools.partial(
-                run_single_experiment_record, config, predictor=predictor
-            )
-            for _, record in resolved.imap(worker, pending):
-                store.append(record)
+            if engine == "batch":
+                worker = functools.partial(_run_batch_chunk, config, predictor=predictor)
+                for _, records in resolved.imap(worker, _chunked(pending, batch_size)):
+                    for record in records:
+                        store.append(record)
+            else:
+                worker = functools.partial(
+                    run_single_experiment_record, config, predictor=predictor
+                )
+                for _, record in resolved.imap(worker, pending):
+                    store.append(record)
         finally:
             if resolved is not executor:
                 resolved.close()
@@ -578,6 +684,8 @@ def run_campaign(
     use_cache: bool = True,
     executor: ExecutorLike = None,
     store: StoreLike = None,
+    engine: str = "scalar",
+    batch_size: int = DEFAULT_BATCH_SIZE,
 ) -> CampaignResult:
     """Execute all runs of a campaign, optionally fanning out over processes.
 
@@ -592,10 +700,21 @@ def run_campaign(
     run is checkpointed to the store as it completes, already-stored runs are
     skipped, and the opaque pickle cache is bypassed — the store *is* the
     durable record.
+
+    ``engine`` selects the simulation engine: ``"scalar"`` (the reference
+    :class:`~repro.sim.simulator.Simulator`, one run per work item) or
+    ``"batch"`` (the vectorized :class:`~repro.sim.batch.BatchSimulator`,
+    ``batch_size`` lockstep runs per work item).  Both produce bit-identical
+    results, so the engine deliberately does not enter the cache key or the
+    store's config hash — a batch campaign resumes a scalar one and
+    vice versa.
     """
+    _validate_engine(engine, batch_size)
     resolved_store = resolve_store(store)
     if resolved_store is not None:
-        return _run_campaign_checkpointed(config, resolved_store, executor)
+        return _run_campaign_checkpointed(
+            config, resolved_store, executor, engine=engine, batch_size=batch_size
+        )
     key = config.cache_key()
     if use_cache:
         cached = _CAMPAIGN_CACHE.get(key)
@@ -604,10 +723,19 @@ def run_campaign(
     predictor = _prepare_predictor(config)
     resolved = resolve_executor(executor)
     try:
-        runs = resolved.map(
-            functools.partial(run_single_experiment, config, predictor=predictor),
-            range(config.n_runs),
-        )
+        if engine == "batch":
+            record_chunks = resolved.map(
+                functools.partial(_run_batch_chunk, config, predictor=predictor),
+                _chunked(range(config.n_runs), batch_size),
+            )
+            runs = [record.result for chunk in record_chunks for record in chunk]
+        else:
+            runs = list(
+                resolved.map(
+                    functools.partial(run_single_experiment, config, predictor=predictor),
+                    range(config.n_runs),
+                )
+            )
     finally:
         if resolved is not executor:
             # We created this executor; release its workers even when a run fails.
@@ -617,7 +745,7 @@ def run_campaign(
         scenario_id=config.scenario_id,
         attacker_kind=config.attacker.value,
         vector=config.vector,
-        runs=list(runs),
+        runs=runs,
     )
     if use_cache:
         _CAMPAIGN_CACHE.put(key, campaign)
@@ -629,6 +757,8 @@ def run_campaigns(
     use_cache: bool = True,
     executor: ExecutorLike = None,
     store: StoreLike = None,
+    engine: str = "scalar",
+    batch_size: int = DEFAULT_BATCH_SIZE,
 ) -> List[CampaignResult]:
     """Execute several campaigns, sharing one executor (and its worker pool)."""
     resolved_store = resolve_store(store)
@@ -636,7 +766,12 @@ def run_campaigns(
     try:
         return [
             run_campaign(
-                config, use_cache=use_cache, executor=resolved, store=resolved_store
+                config,
+                use_cache=use_cache,
+                executor=resolved,
+                store=resolved_store,
+                engine=engine,
+                batch_size=batch_size,
             )
             for config in configs
         ]

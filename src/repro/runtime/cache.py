@@ -22,6 +22,7 @@ from __future__ import annotations
 import dataclasses
 import enum
 import hashlib
+import logging
 import os
 import pickle
 import tempfile
@@ -36,6 +37,20 @@ T = TypeVar("T")
 _CACHE_DIR_ENV = "REPRO_CACHE_DIR"
 
 _MISSING = object()
+
+_LOGGER = logging.getLogger(__name__)
+
+#: Exceptions that mean the file's *contents* are bad (truncated or garbage
+#: pickle stream, or a payload type that no longer deserializes) — as opposed
+#: to :class:`OSError`, which is an I/O-level problem that may be transient.
+_CORRUPT_PICKLE_ERRORS = (
+    pickle.UnpicklingError,
+    EOFError,
+    AttributeError,
+    ImportError,
+    IndexError,
+    ValueError,
+)
 
 
 def default_cache_dir() -> Optional[Path]:
@@ -160,9 +175,36 @@ class ArtifactCache:
         try:
             with path.open("rb") as handle:
                 return pickle.load(handle)
-        except (OSError, pickle.UnpicklingError, EOFError, AttributeError):
-            # A concurrent writer or stale format; treat as a miss.
+        except OSError:
+            # An I/O-level hiccup (permissions, racing unlink); the file may
+            # be fine on the next access, so treat as a plain miss.
             return _MISSING
+        except _CORRUPT_PICKLE_ERRORS:
+            # The entry itself is unreadable and will stay unreadable: move
+            # it aside so later gets miss cleanly (and rebuild via the
+            # factory) instead of re-attempting the doomed load every time.
+            self._quarantine(path)
+            return _MISSING
+
+    def _quarantine(self, path: Path) -> None:
+        """Move a corrupt entry out of the lookup path (keeping it for triage)."""
+        quarantined = path.with_name(path.name + ".corrupt")
+        try:
+            os.replace(path, quarantined)
+            _LOGGER.warning(
+                "cache %r: quarantined corrupt entry %s -> %s",
+                self.name,
+                path.name,
+                quarantined.name,
+            )
+        except OSError:
+            try:
+                path.unlink()
+                _LOGGER.warning(
+                    "cache %r: deleted corrupt entry %s", self.name, path.name
+                )
+            except OSError:  # pragma: no cover - racing cleanup is benign
+                pass
 
     def _store_to_disk(self, encoded: str, value: Any) -> None:
         path = self._path_for(encoded)
@@ -222,7 +264,8 @@ class ArtifactCache:
         if disk:
             directory = self.directory
             if directory is not None and directory.exists():
-                for path in directory.glob("*.pkl"):
+                # "*.pkl*" also sweeps quarantined "*.pkl.corrupt" entries.
+                for path in directory.glob("*.pkl*"):
                     try:
                         path.unlink()
                     except OSError:

@@ -130,6 +130,22 @@ def build_parser() -> argparse.ArgumentParser:
         help="safety-potential oracle (neural, kinematic)",
     )
     parser.add_argument(
+        "--engine",
+        default="scalar",
+        choices=("scalar", "batch"),
+        action=_TrackedStore,
+        help="simulation engine: 'scalar' steps one run at a time, 'batch' "
+        "advances --batch-size runs in lockstep per work item (bit-identical "
+        "results, composes with --jobs and --store)",
+    )
+    parser.add_argument(
+        "--batch-size",
+        type=int,
+        default=16,
+        action=_TrackedStore,
+        help="lockstep runs per work item when --engine batch",
+    )
+    parser.add_argument(
         "--no-cache",
         action=_TrackedStoreTrue,
         help="bypass the campaign result cache (predictors are still reused)",
@@ -177,13 +193,19 @@ def build_parser() -> argparse.ArgumentParser:
         "--sampler",
         default="lhs",
         choices=("grid", "random", "lhs"),
-        help="how to sample the space (grid size = product of axis grid points)",
+        help="how to sample the space; 'grid' enumerates the full cartesian "
+        "product of the axes' grid points (size it per axis via "
+        "low:high:points), ignoring --n/--sweep-seed with a warning",
     )
     sweep.add_argument(
-        "--n", type=int, default=50, help="number of sweep points (random/lhs)"
+        "--n", type=int, default=None,
+        help="number of sweep points for random/lhs (default 50); the grid "
+        "sampler's size is the product of its axis grid points and a "
+        "mismatching --n only warns",
     )
     sweep.add_argument(
-        "--sweep-seed", type=int, default=0, help="seed of the space sampler itself"
+        "--sweep-seed", type=int, default=None,
+        help="seed of the space sampler itself (random/lhs; default 0)",
     )
     sweep.add_argument(
         "--param",
@@ -195,6 +217,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sweep.add_argument("--jobs", dest="sub_jobs", type=int, default=0,
                        help="worker processes (0/1 serial, -1 all CPUs)")
+    sweep.add_argument("--engine", dest="sub_engine", default="scalar",
+                       choices=("scalar", "batch"),
+                       help="simulation engine per sweep point (bit-identical)")
+    sweep.add_argument("--batch-size", dest="sub_batch_size", type=int, default=16,
+                       help="lockstep runs per work item when --engine batch")
     sweep.add_argument(
         "--dry-run",
         action="store_true",
@@ -247,6 +274,12 @@ def build_parser() -> argparse.ArgumentParser:
                        help="experiment-store root")
     resume.add_argument("--jobs", dest="sub_jobs", type=int, default=0,
                        help="worker processes (0/1 serial, -1 all CPUs)")
+    resume.add_argument("--engine", dest="sub_engine", default="scalar",
+                        choices=("scalar", "batch"),
+                        help="simulation engine for the missing runs (records "
+                        "are engine-independent, so mixing is safe)")
+    resume.add_argument("--batch-size", dest="sub_batch_size", type=int, default=16,
+                        help="lockstep runs per work item when --engine batch")
     return parser
 
 
@@ -268,7 +301,7 @@ def _adopt_subcommand_args(args: argparse.Namespace) -> None:
             f"(e.g. repro-campaign {args.command} {flags.split(',')[0]} ...)"
         )
     for name in ("scenario", "store", "attacker", "vector", "predictor",
-                 "runs", "seed", "jobs"):
+                 "runs", "seed", "jobs", "engine", "batch_size"):
         if hasattr(args, "sub_" + name):
             setattr(args, name, getattr(args, "sub_" + name))
 
@@ -297,7 +330,12 @@ def _run_table2_suite(args: argparse.Namespace) -> None:
         f"(jobs={args.jobs}, seed={args.seed}) ..."
     )
     results = run_campaigns(
-        configs, use_cache=not args.no_cache, executor=args.jobs, store=args.store
+        configs,
+        use_cache=not args.no_cache,
+        executor=args.jobs,
+        store=args.store,
+        engine=args.engine,
+        batch_size=args.batch_size,
     )
     print("\n=== Table II (reproduced) ===")
     for campaign in results:
@@ -368,7 +406,12 @@ def _run_single_campaign(args: argparse.Namespace) -> None:
     )
     print(f"Running {config.campaign_id}: {args.runs} runs (jobs={args.jobs}) ...")
     result = run_campaign(
-        config, use_cache=not args.no_cache, executor=args.jobs, store=args.store
+        config,
+        use_cache=not args.no_cache,
+        executor=args.jobs,
+        store=args.store,
+        engine=args.engine,
+        batch_size=args.batch_size,
     )
     print(summarize_campaign(result).format_row())
 
@@ -410,7 +453,13 @@ def _run_sweep(args: argparse.Namespace) -> None:
         f"Sweeping {len(configs)} points x {args.runs} runs "
         f"({args.sampler}, jobs={args.jobs}) into {args.store} ..."
     )
-    results = run_campaigns(configs, executor=args.jobs, store=args.store)
+    results = run_campaigns(
+        configs,
+        executor=args.jobs,
+        store=args.store,
+        engine=args.engine,
+        batch_size=args.batch_size,
+    )
     for result in results:
         print(summarize_campaign(result).format_row())
 
@@ -523,7 +572,13 @@ def _run_resume(args: argparse.Namespace) -> None:
                 f"Resuming {config.campaign_id}: "
                 f"{len(missing)} of {config.n_runs} runs missing ..."
             )
-            result = run_campaign(config, executor=executor, store=store)
+            result = run_campaign(
+                config,
+                executor=executor,
+                store=store,
+                engine=args.engine,
+                batch_size=args.batch_size,
+            )
             print(summarize_campaign(result).format_row())
     finally:
         executor.close()
@@ -539,6 +594,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         raise SystemExit("--runs must be a positive number of simulation runs")
     if args.jobs < -1:
         raise SystemExit("--jobs must be -1 (all CPUs), 0/1 (serial), or a worker count")
+    if args.batch_size < 1:
+        raise SystemExit("--batch-size must be a positive number of lockstep runs")
 
     if args.list_scenarios:
         _print_scenarios()

@@ -9,8 +9,10 @@ deterministic, seedable 2-D road-frame simulator.  It provides:
 * the five driving scenarios DS-1 ... DS-5 from paper §V-C
   (:mod:`repro.sim.scenarios`),
 * collision / emergency-braking event bookkeeping (:mod:`repro.sim.events`),
-* and the simulation loop that wires sensors, the ADS, and an optional
-  man-in-the-middle attacker together (:mod:`repro.sim.simulator`).
+* the simulation loop that wires sensors, the ADS, and an optional
+  man-in-the-middle attacker together (:mod:`repro.sim.simulator`),
+* and a vectorized engine that advances many independently-seeded runs in
+  lockstep with bit-identical results (:mod:`repro.sim.batch`).
 """
 
 from repro.sim.actors import ActorKind, ActorSnapshot, EgoVehicle, ScriptedActor
@@ -38,6 +40,10 @@ def __getattr__(name: str):
         from repro.sim import simulator
 
         return getattr(simulator, name)
+    if name in ("BatchSimulator", "BatchRunSpec"):
+        from repro.sim import batch
+
+        return getattr(batch, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 __all__ = [
@@ -56,6 +62,8 @@ __all__ = [
     "list_scenario_ids",
     "SimulationResult",
     "Simulator",
+    "BatchRunSpec",
+    "BatchSimulator",
     "Waypoint",
     "WaypointRoute",
     "GroundTruthSnapshot",

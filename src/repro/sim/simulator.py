@@ -138,6 +138,15 @@ class Simulator:
         # iteration's sensing, and the final result.  (Snapshotting is the
         # single most expensive bookkeeping call in the loop.)
         snapshot = world.snapshot()
+        collision_actor = self._check_collision(snapshot)
+        if collision_actor is not None:
+            # Actors spawned already overlapping: halt at step 0 instead of
+            # driving the ego through them for the full duration.
+            self._record_collision_halt(
+                events, snapshot, collision_actor, perceived_delta=float("inf")
+            )
+            halted = True
+            max_steps = 0
 
         for step in range(max_steps):
             camera_frame = self.camera.capture(snapshot)
@@ -174,23 +183,28 @@ class Simulator:
             snapshot = world.snapshot()
             collision_actor = self._check_collision(snapshot)
             if collision_actor is not None:
-                events.record(
-                    SimulationEvent(
-                        kind=EventKind.COLLISION,
-                        time_s=world.time_s,
-                        step_index=world.step_index,
-                        details={"actor_id": float(collision_actor)},
-                    )
-                )
-                events.record(
-                    SimulationEvent(
-                        kind=EventKind.SIMULATION_HALTED,
-                        time_s=world.time_s,
-                        step_index=world.step_index,
-                    )
+                # The impact snapshot still gets a trace entry (so the Fig-6
+                # traces and min_true_delta_from_attack include the value at
+                # impact); on a collision halt the traces are therefore one
+                # entry longer than steps_executed.
+                self._record_collision_halt(
+                    events, snapshot, collision_actor,
+                    perceived_delta=decision.perceived_delta_m,
                 )
                 halted = True
                 break
+
+        if attack_was_active:
+            # The run ended (duration elapsed or collision halt) while the
+            # attack was still active: close the interval so attack-duration
+            # consumers never see an open one.
+            events.record(
+                SimulationEvent(
+                    kind=EventKind.ATTACK_ENDED,
+                    time_s=snapshot.time_s,
+                    step_index=snapshot.step_index,
+                )
+            )
 
         return SimulationResult(
             scenario_id=self.scenario.scenario_id,
@@ -250,6 +264,41 @@ class Simulator:
                 )
             )
         return decision.emergency_brake
+
+    def _record_collision_halt(
+        self,
+        events: EventLog,
+        snapshot: GroundTruthSnapshot,
+        collision_actor: int,
+        perceived_delta: float,
+    ) -> None:
+        """Record the impact snapshot's trace entry and the halt events."""
+        true_delta = ground_truth_delta(
+            snapshot,
+            self.scenario.road,
+            self.safety_model,
+            target_actor_id=self._current_target_id(),
+        )
+        events.record_step(
+            true_delta=true_delta,
+            perceived_delta=perceived_delta,
+            ego_speed=snapshot.ego.speed,
+        )
+        events.record(
+            SimulationEvent(
+                kind=EventKind.COLLISION,
+                time_s=snapshot.time_s,
+                step_index=snapshot.step_index,
+                details={"actor_id": float(collision_actor)},
+            )
+        )
+        events.record(
+            SimulationEvent(
+                kind=EventKind.SIMULATION_HALTED,
+                time_s=snapshot.time_s,
+                step_index=snapshot.step_index,
+            )
+        )
 
     def _check_collision(self, snapshot: GroundTruthSnapshot) -> Optional[int]:
         ego = snapshot.ego

@@ -38,6 +38,7 @@ from __future__ import annotations
 import dataclasses
 import itertools
 import typing
+import warnings
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
@@ -57,6 +58,7 @@ __all__ = [
     "ParameterSpec",
     "ParameterSpace",
     "Assignment",
+    "DEFAULT_SWEEP_POINTS",
     "SAMPLERS",
     "parse_spec",
     "parse_axis",
@@ -213,11 +215,64 @@ class ParameterSpace:
         ]
 
 
+#: Default number of sweep points for the stochastic samplers (random/lhs).
+DEFAULT_SWEEP_POINTS = 50
+
+
+def _grid_sampler(
+    space: ParameterSpace, n: Optional[int], seed: Optional[int]
+) -> List[Assignment]:
+    """The full grid; warns when a requested ``n``/``seed`` cannot apply.
+
+    A grid's size is structural — the product of its axes' grid points — so a
+    requested point count or sampler seed is silently meaningless.  Surfacing
+    the mismatch loudly keeps ``repro-campaign sweep --sampler grid -n 100``
+    from running a different number of points than the user asked for with no
+    indication why.
+    """
+    assignments = space.grid()
+    if n is not None and n != len(assignments):
+        warnings.warn(
+            f"the grid sampler ignores n={n}: this space's grid has "
+            f"{len(assignments)} points (the product of its axes' grid "
+            "points); size it via Uniform(grid_points=...) / the "
+            "low:high:points axis syntax, or use the random/lhs samplers "
+            "for an exact point count",
+            UserWarning,
+            stacklevel=3,
+        )
+    if seed is not None:
+        warnings.warn(
+            "the grid sampler is deterministic and ignores the sampler seed",
+            UserWarning,
+            stacklevel=3,
+        )
+    return assignments
+
+
+def _random_sampler(
+    space: ParameterSpace, n: Optional[int], seed: Optional[int]
+) -> List[Assignment]:
+    return space.random(
+        n if n is not None else DEFAULT_SWEEP_POINTS, seed if seed is not None else 0
+    )
+
+
+def _lhs_sampler(
+    space: ParameterSpace, n: Optional[int], seed: Optional[int]
+) -> List[Assignment]:
+    return space.latin_hypercube(
+        n if n is not None else DEFAULT_SWEEP_POINTS, seed if seed is not None else 0
+    )
+
+
 #: Sampler name -> callable(space, n, seed); the registry behind ``--sampler``.
+#: ``n``/``seed`` may be ``None`` (defaulted); the grid sampler warns when
+#: explicit values are passed that it cannot honour.
 SAMPLERS = {
-    "grid": lambda space, n, seed: space.grid(),
-    "random": lambda space, n, seed: space.random(n, seed),
-    "lhs": lambda space, n, seed: space.latin_hypercube(n, seed),
+    "grid": _grid_sampler,
+    "random": _random_sampler,
+    "lhs": _lhs_sampler,
 }
 
 
@@ -334,14 +389,17 @@ def sweep_campaigns(
     base: "CampaignConfig",
     space: Optional[ParameterSpace] = None,
     sampler: str = "lhs",
-    n: int = 50,
-    seed: int = 0,
+    n: Optional[int] = None,
+    seed: Optional[int] = None,
 ) -> List["CampaignConfig"]:
     """Sample a parameter space and expand it into campaign configs.
 
     ``space`` defaults to :func:`default_variation_space`; ``sampler`` is one
-    of :data:`SAMPLERS` (``grid`` ignores ``n`` — its size is the product of
-    the axes' grid points).
+    of :data:`SAMPLERS`.  ``n`` and ``seed`` default to
+    :data:`DEFAULT_SWEEP_POINTS` and 0 for the stochastic samplers; the grid
+    sampler's size is structural (the product of the axes' grid points), so
+    explicitly passing ``n`` or ``seed`` with ``sampler="grid"`` raises a
+    :class:`UserWarning` on mismatch instead of being silently ignored.
     """
     if sampler not in SAMPLERS:
         raise ValueError(f"unknown sampler {sampler!r}; choose from {sorted(SAMPLERS)}")

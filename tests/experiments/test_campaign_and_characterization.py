@@ -4,6 +4,9 @@ These tests run real (but short) simulations, so they are the slowest part of
 the unit suite; campaigns are kept to a handful of runs.
 """
 
+import dataclasses
+import math
+
 import numpy as np
 import pytest
 
@@ -14,12 +17,15 @@ from repro.experiments.campaign import (
     AttackerKind,
     CampaignConfig,
     PredictorKind,
+    _run_batch_chunk,
     baseline_random_campaign,
     get_or_train_predictor,
     run_campaign,
     run_single_experiment,
+    run_single_experiment_record,
     standard_campaigns,
 )
+from repro.experiments.store import ExperimentStore
 from repro.experiments.characterization import characterize_detector
 from repro.sim.actors import ActorKind
 
@@ -137,6 +143,77 @@ class TestRunCampaign:
         )
         campaign = run_campaign(config, use_cache=False)
         assert campaign.n_runs == 2
+
+
+def _results_equal(a, b) -> bool:
+    """Field-wise RunResult equality that treats NaN == NaN (dataclass ``==``
+    fails on the NaN-valued attack metrics even for identical runs)."""
+    for field in dataclasses.fields(a):
+        x, y = getattr(a, field.name), getattr(b, field.name)
+        if isinstance(x, float) and isinstance(y, float) and math.isnan(x) and math.isnan(y):
+            continue
+        if x != y:
+            return False
+    return True
+
+
+class TestBatchEngine:
+    def _config(self, **overrides) -> CampaignConfig:
+        defaults = dict(
+            campaign_id="batch-engine-ds3",
+            scenario_id="DS-3",
+            attacker=AttackerKind.NONE,
+            n_runs=5,
+            seed=33,
+        )
+        defaults.update(overrides)
+        return CampaignConfig(**defaults)
+
+    def test_batch_records_match_scalar_records(self):
+        config = self._config()
+        scalar = [run_single_experiment_record(config, index) for index in range(3)]
+        batch = _run_batch_chunk(config, [0, 1, 2])
+        assert [record.run_index for record in batch] == [0, 1, 2]
+        for a, b in zip(scalar, batch):
+            assert a.seed == b.seed
+            assert _results_equal(a.result, b.result)
+            assert a.events == b.events
+            assert np.array_equal(a.true_delta_trace, b.true_delta_trace)
+            assert np.array_equal(a.perceived_delta_trace, b.perceived_delta_trace)
+            assert np.array_equal(a.ego_speed_trace, b.ego_speed_trace)
+            assert a.steps_executed == b.steps_executed
+            assert a.halted_on_collision == b.halted_on_collision
+
+    def test_batch_campaign_matches_scalar_campaign(self):
+        config = self._config()
+        scalar = run_campaign(config, use_cache=False, engine="scalar")
+        batch = run_campaign(config, use_cache=False, engine="batch", batch_size=2)
+        assert batch.n_runs == scalar.n_runs == config.n_runs
+        assert all(
+            _results_equal(a, b) for a, b in zip(scalar.runs, batch.runs)
+        )
+
+    def test_scalar_store_resumes_under_batch_engine(self, tmp_path):
+        """Records are engine-independent, so a partially scalar-filled store
+        is finished by the batch engine with identical merged results."""
+        config = self._config(campaign_id="batch-resume-ds3", n_runs=4)
+        store = ExperimentStore(tmp_path / "mixed")
+        store.write_manifest(config)
+        store.append(run_single_experiment_record(config, 2))
+        mixed = run_campaign(config, store=store, engine="batch", batch_size=3)
+        full = run_campaign(
+            config, store=tmp_path / "batch-only", engine="batch", batch_size=3
+        )
+        assert mixed.n_runs == full.n_runs == config.n_runs
+        assert all(_results_equal(a, b) for a, b in zip(mixed.runs, full.runs))
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ValueError, match="unknown engine"):
+            run_campaign(self._config(), engine="vectorized")
+
+    def test_non_positive_batch_size_rejected(self):
+        with pytest.raises(ValueError, match="batch_size"):
+            run_campaign(self._config(), engine="batch", batch_size=0)
 
 
 class TestPredictorTraining:

@@ -55,9 +55,39 @@ class TestCli:
 
         set_cache_dir(None)
 
+    def test_single_campaign_with_batch_engine(self, tmp_path, capsys):
+        """--engine batch composes with --store and records every run."""
+        code = main(
+            [
+                "--scenario", "DS-3", "--attacker", "none", "--runs", "3",
+                "--seed", "3", "--engine", "batch", "--batch-size", "2",
+                "--store", str(tmp_path / "runs"),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "DS-3" in out
+        from repro.experiments.store import ExperimentStore
+
+        store = ExperimentStore(tmp_path / "runs")
+        assert store.incomplete_campaigns() == []
+
+    def test_invalid_engine_exits_with_error(self):
+        with pytest.raises(SystemExit):
+            main(["--scenario", "DS-1", "--runs", "1", "--engine", "vectorized"])
+
+    def test_non_positive_batch_size_exits_with_error(self):
+        with pytest.raises(SystemExit):
+            main(
+                ["--scenario", "DS-1", "--attacker", "none", "--runs", "1",
+                 "--engine", "batch", "--batch-size", "0"]
+            )
+
     def test_parser_defaults(self):
         args = build_parser().parse_args([])
         assert args.runs == 10
+        assert args.engine == "scalar"
+        assert args.batch_size == 16
         assert args.jobs == 0
         assert args.scenario is None
         assert args.store is None

@@ -173,6 +173,26 @@ class TestArtifactCache:
             path.write_bytes(b"not a pickle")
         assert cache.get("k") is None
 
+    def test_corrupt_disk_entry_is_quarantined_and_rebuilt(self, tmp_path, caplog):
+        cache = ArtifactCache("test", cache_dir=tmp_path)
+        cache.put("k", 1)
+        cache.clear()
+        (corrupted,) = (tmp_path / "test").glob("*.pkl")
+        corrupted.write_bytes(b"not a pickle")
+        with caplog.at_level("WARNING", logger="repro.runtime.cache"):
+            assert cache.get("k") is None
+        # The doomed entry is moved aside (kept for triage), not retried.
+        assert not corrupted.exists()
+        assert corrupted.with_name(corrupted.name + ".corrupt").exists()
+        assert any(
+            "quarantined corrupt entry" in record.getMessage()
+            for record in caplog.records
+        )
+        # A later get_or_create misses cleanly and rebuilds through the factory.
+        assert cache.get_or_create("k", lambda: 2) == 2
+        cache.clear()
+        assert cache.get("k") == 2
+
     def test_env_var_enables_disk_layer(self, tmp_path, monkeypatch):
         monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
         assert default_cache_dir() == tmp_path

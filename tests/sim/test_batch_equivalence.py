@@ -1,0 +1,158 @@
+"""Scalar-vs-batch engine equivalence: the batch engine's golden-trace gate.
+
+The vectorized :class:`~repro.sim.batch.BatchSimulator` is only usable as a
+drop-in campaign engine because it reproduces the reference
+:class:`~repro.sim.simulator.Simulator` *bit for bit*: same traces, same
+events, same halt behaviour, for every scenario and with or without an
+attacker in the loop.  These tests pin that contract — no tolerances.
+
+Event comparisons use ``(kind, step_index, time_s)`` signatures rather than
+full event details: the two engines run against independently built scenarios
+whose actors draw fresh ids from the module-global actor-id counter, so the
+``actor_id`` recorded in COLLISION details legitimately differs between the
+two arms of one comparison.
+"""
+
+import numpy as np
+import pytest
+
+from repro.ads.agent import AdsAgent
+from repro.ads.planning import PlannerConfig
+from repro.core.attack_vectors import AttackVector
+from repro.experiments.campaign import (
+    AttackerKind,
+    CampaignConfig,
+    _build_attacker,
+    build_ads_agent,
+)
+from repro.geometry import Vec2
+from repro.perception.pipeline import PerceptionConfig
+from repro.sim.batch import BatchRunSpec, BatchSimulator
+from repro.sim.events import EventKind
+from repro.sim.scenarios import build_scenario, list_scenario_ids
+from repro.sim.simulator import Simulator
+from repro.sim.waypoints import Waypoint, WaypointRoute
+
+_ADS_SEED = 1
+_SIM_SEED = 2
+_ATTACK_SEED = 7
+
+
+def _benign_setup(scenario_id):
+    scenario = build_scenario(scenario_id)
+    ads = build_ads_agent(scenario, np.random.default_rng(_ADS_SEED))
+    return scenario, ads, None, np.random.default_rng(_SIM_SEED)
+
+
+def _attacked_setup(scenario_id):
+    """The campaign layer's exact seeding chain, with the random attacker."""
+    config = CampaignConfig(
+        campaign_id=f"eq-{scenario_id}",
+        scenario_id=scenario_id,
+        attacker=AttackerKind.RANDOM,
+        vector=AttackVector.MOVE_IN,
+        n_runs=1,
+        seed=_ATTACK_SEED,
+    )
+    rng = np.random.default_rng(_ATTACK_SEED)
+    scenario = build_scenario(scenario_id)
+    ads = build_ads_agent(scenario, np.random.default_rng(int(rng.integers(0, 2**31 - 1))))
+    attacker = _build_attacker(
+        config, scenario, np.random.default_rng(int(rng.integers(0, 2**31 - 1)))
+    )
+    return scenario, ads, attacker, np.random.default_rng(int(rng.integers(0, 2**31 - 1)))
+
+
+_SETUPS = {"benign": _benign_setup, "attacked": _attacked_setup}
+
+
+def _event_signature(result):
+    return [(e.kind, e.step_index, e.time_s) for e in result.events.events]
+
+
+def _assert_bit_identical(scalar, batch):
+    assert scalar.events.true_delta_trace == batch.events.true_delta_trace
+    assert scalar.events.perceived_delta_trace == batch.events.perceived_delta_trace
+    assert scalar.events.ego_speed_trace == batch.events.ego_speed_trace
+    assert _event_signature(scalar) == _event_signature(batch)
+    assert scalar.steps_executed == batch.steps_executed
+    assert scalar.duration_s == batch.duration_s
+    assert scalar.halted_on_collision == batch.halted_on_collision
+    scalar_ego = scalar.final_snapshot.ego
+    batch_ego = batch.final_snapshot.ego
+    assert scalar_ego.position.x == batch_ego.position.x
+    assert scalar_ego.position.y == batch_ego.position.y
+    assert scalar_ego.speed == batch_ego.speed
+
+
+class TestScalarBatchEquivalence:
+    @pytest.mark.parametrize("scenario_id", list_scenario_ids())
+    @pytest.mark.parametrize("mode", sorted(_SETUPS))
+    def test_single_lane_matches_scalar(self, scenario_id, mode):
+        setup = _SETUPS[mode]
+        scenario, ads, attacker, rng = setup(scenario_id)
+        scalar = Simulator(scenario, ads, attacker=attacker, rng=rng).run()
+        scenario, ads, attacker, rng = setup(scenario_id)
+        batch = BatchSimulator(
+            [BatchRunSpec(scenario=scenario, ads=ads, attacker=attacker, rng=rng)]
+        ).run()[0]
+        _assert_bit_identical(scalar, batch)
+
+    def test_multi_lane_lockstep_is_independent(self):
+        """All scenarios in one batch: lanes finish at different steps, and no
+        lane's presence perturbs any other lane's result."""
+        scenario_ids = list_scenario_ids()
+        scalars = []
+        for scenario_id in scenario_ids:
+            scenario, ads, attacker, rng = _benign_setup(scenario_id)
+            scalars.append(Simulator(scenario, ads, attacker=attacker, rng=rng).run())
+        specs = []
+        for scenario_id in scenario_ids:
+            scenario, ads, attacker, rng = _benign_setup(scenario_id)
+            specs.append(
+                BatchRunSpec(scenario=scenario, ads=ads, attacker=attacker, rng=rng)
+            )
+        batches = BatchSimulator(specs).run()
+        assert len(batches) == len(scalars)
+        # Mixed durations force lanes to drop out of the lockstep loop early.
+        assert len({result.steps_executed for result in batches}) > 1
+        for scalar, batch in zip(scalars, batches):
+            _assert_bit_identical(scalar, batch)
+
+    def test_empty_batch_is_rejected(self):
+        with pytest.raises(ValueError, match="at least one run spec"):
+            BatchSimulator([])
+
+    def test_camera_only_agent_is_rejected(self):
+        """The batch engine ports the fused pipeline only; a camera-only agent
+        must fail loudly instead of silently diverging from the scalar path."""
+        scenario = build_scenario("DS-1")
+        ads = AdsAgent(
+            road=scenario.road,
+            planner_config=PlannerConfig(cruise_speed_mps=scenario.cruise_speed_mps),
+            perception_config=PerceptionConfig(use_lidar=False),
+            rng=np.random.default_rng(_ADS_SEED),
+        )
+        with pytest.raises(ValueError, match="fused"):
+            BatchSimulator([BatchRunSpec(scenario=scenario, ads=ads)])
+
+    def test_spawn_overlap_halts_batch_lane_at_step_zero(self):
+        """The step-0 collision check is mirrored in the batch engine."""
+        scenario = build_scenario("DS-1")
+        target = next(
+            actor
+            for actor in scenario.world.actors
+            if actor.actor_id == scenario.target_actor_id
+        )
+        ego = scenario.world.ego
+        target.route = WaypointRoute([Waypoint(Vec2(ego.position.x, ego.position.y), 0.0)])
+        ads = build_ads_agent(scenario, np.random.default_rng(_ADS_SEED))
+        result = BatchSimulator(
+            [BatchRunSpec(scenario=scenario, ads=ads, rng=np.random.default_rng(_SIM_SEED))]
+        ).run()[0]
+        assert result.halted_on_collision
+        assert result.steps_executed == 0
+        assert len(result.events.true_delta_trace) == 1
+        kinds = [(e.kind, e.step_index) for e in result.events.events]
+        assert (EventKind.COLLISION, 0) in kinds
+        assert (EventKind.SIMULATION_HALTED, 0) in kinds

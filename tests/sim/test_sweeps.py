@@ -171,6 +171,33 @@ class TestExpansion:
         with pytest.raises(ValueError, match="unknown sampler"):
             sweep_campaigns(_base(), sampler="sobol")
 
+    def test_grid_sampler_warns_on_mismatching_n(self):
+        space = ParameterSpace(
+            {"variation.ego_speed_scale": Uniform(0.9, 1.1, grid_points=3)}
+        )
+        with pytest.warns(UserWarning, match="grid sampler ignores n=100"):
+            configs = sweep_campaigns(_base(), space, sampler="grid", n=100)
+        # The warning does not change the structural grid size.
+        assert len(configs) == 3
+
+    def test_grid_sampler_warns_on_explicit_seed(self):
+        space = ParameterSpace(
+            {"variation.ego_speed_scale": Uniform(0.9, 1.1, grid_points=3)}
+        )
+        with pytest.warns(UserWarning, match="ignores the sampler seed"):
+            sweep_campaigns(_base(), space, sampler="grid", seed=5)
+
+    def test_grid_sampler_is_silent_when_n_matches_or_is_unset(self):
+        import warnings
+
+        space = ParameterSpace(
+            {"variation.ego_speed_scale": Uniform(0.9, 1.1, grid_points=3)}
+        )
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert len(sweep_campaigns(_base(), space, sampler="grid")) == 3
+            assert len(sweep_campaigns(_base(), space, sampler="grid", n=3)) == 3
+
     def test_base_fields_survive_expansion(self):
         base = _base(seed=1234, n_runs=7)
         (config,) = expand_campaigns(base, [{"variation.ego_speed_scale": 1.01}])
