@@ -50,6 +50,7 @@ from repro.core.training import (
 from repro.experiments.results import CampaignResult, RunResult
 from repro.experiments.store import ExperimentStore, RunRecord, config_hash
 from repro.perception.detection import DetectorDegradation
+from repro.perception.fusion import DEFAULT_FUSION_POLICY, FusionConfig
 from repro.perception.pipeline import PerceptionConfig
 from repro.sim.actors import ActorKind
 from repro.runtime import ArtifactCache, Executor, ExecutorLike, resolve_executor
@@ -163,6 +164,10 @@ class CampaignConfig:
     #: Degrade the scenario's camera detector (fog/low-light sweeps); ``None``
     #: keeps whatever detector the scenario itself prescribes.
     detector_degradation: Optional[DetectorDegradation] = None
+    #: Fusion-policy victim variant for the campaign's ADS agent; ``None``
+    #: keeps whatever fusion the scenario prescribes (the late-fusion default
+    #: for the paper's catalog).
+    fusion: Optional[FusionConfig] = None
 
     def __post_init__(self) -> None:
         if self.n_runs <= 0:
@@ -170,12 +175,17 @@ class CampaignConfig:
         if self.attacker in (AttackerKind.ROBOTACK, AttackerKind.ROBOTACK_NO_SH) and self.vector is None:
             raise ValueError("RoboTack campaigns must pin an attack vector")
 
+    @property
+    def fusion_policy(self) -> str:
+        """Effective fusion-policy name (defaulted configs run ``late``)."""
+        return self.fusion.policy if self.fusion is not None else DEFAULT_FUSION_POLICY
+
     def cache_key(self) -> Tuple:
         # Every field that changes the campaign's results belongs here: with
         # the disk cache enabled, two configs differing only in training
         # epochs or simulation parameters must never shadow each other.  The
         # experiment store's content address is derived from this same key.
-        return (
+        key = (
             self.campaign_id,
             self.scenario_id,
             self.attacker,
@@ -188,6 +198,11 @@ class CampaignConfig:
             self.variation,
             self.detector_degradation,
         )
+        # Appended only when set, so every pre-fusion config keeps its exact
+        # hash and existing stores resume without re-running anything.
+        if self.fusion is not None:
+            key = key + (self.fusion,)
+        return key
 
     # ------------------------------------------------------------------ #
     # JSON round-trip — the experiment-store manifest format
@@ -213,6 +228,9 @@ class CampaignConfig:
                 if self.detector_degradation is not None
                 else None
             ),
+            "fusion": (
+                dataclasses.asdict(self.fusion) if self.fusion is not None else None
+            ),
         }
 
     @staticmethod
@@ -221,6 +239,9 @@ class CampaignConfig:
         vector = payload["vector"]
         variation = payload.get("variation")
         degradation = payload.get("detector_degradation")
+        # .get: manifests written before the fusion-policy refactor carry no
+        # "fusion" key and must load as fusion=None (same config, same hash).
+        fusion = payload.get("fusion")
         return CampaignConfig(
             campaign_id=str(payload["campaign_id"]),
             scenario_id=str(payload["scenario_id"]),
@@ -235,18 +256,30 @@ class CampaignConfig:
             detector_degradation=(
                 DetectorDegradation(**degradation) if degradation else None
             ),
+            fusion=FusionConfig(**fusion) if fusion else None,  # type: ignore[arg-type]
         )
 
 
-def build_ads_agent(scenario: DrivingScenario, rng: np.random.Generator) -> AdsAgent:
+def build_ads_agent(
+    scenario: DrivingScenario,
+    rng: np.random.Generator,
+    fusion: Optional[FusionConfig] = None,
+) -> AdsAgent:
     """Construct the victim ADS agent for a scenario.
 
     Scenarios that model degraded sensing (e.g. DS-7's fog) carry a detector
     override, which is threaded into the agent's perception pipeline here.
+    ``fusion`` selects a fusion-policy victim variant; when ``None`` the
+    scenario's own ``fusion_config`` (usually ``None`` → the late default)
+    applies.
     """
-    perception_config = None
+    fusion_config = fusion if fusion is not None else scenario.fusion_config
+    perception_kwargs = {}
     if scenario.detector_config is not None:
-        perception_config = PerceptionConfig(detector=scenario.detector_config)
+        perception_kwargs["detector"] = scenario.detector_config
+    if fusion_config is not None:
+        perception_kwargs["fusion"] = fusion_config
+    perception_config = PerceptionConfig(**perception_kwargs) if perception_kwargs else None
     return AdsAgent(
         road=scenario.road,
         planner_config=PlannerConfig(cruise_speed_mps=scenario.cruise_speed_mps),
@@ -447,7 +480,11 @@ def _build_run_setup(
     scenario = build_scenario(config.scenario_id, variation)
     if config.detector_degradation is not None and not config.detector_degradation.is_identity():
         scenario.detector_config = config.detector_degradation.apply(scenario.detector_config)
-    ads = build_ads_agent(scenario, np.random.default_rng(int(rng.integers(0, 2**31 - 1))))
+    ads = build_ads_agent(
+        scenario,
+        np.random.default_rng(int(rng.integers(0, 2**31 - 1))),
+        fusion=config.fusion,
+    )
     attacker = _build_attacker(
         config,
         scenario,

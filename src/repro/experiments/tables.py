@@ -6,18 +6,22 @@
   Table II (median attack window K, run counts, emergency-braking and crash
   rates), and :func:`headline_findings` computes the paper's §I headline
   comparisons (RoboTack vs. random baseline, pedestrians vs. vehicles).
+* :func:`fusion_defense_rows` / :func:`fusion_defense_from_store` build the
+  defense-evaluation table beyond the paper: attack-success rate per
+  (scenario, fusion policy) cell, comparing how each fusion-policy victim
+  variant degrades the attack (the ROADMAP's fusion-defense workload).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.attack_vectors import AttackVector
 from repro.core.scenario_matcher import ScenarioMatcher
 from repro.experiments.campaign import CampaignConfig, run_campaigns
 from repro.experiments.metrics import CampaignSummary, combined_rates, summarize_campaign
-from repro.experiments.results import CampaignResult
+from repro.experiments.results import CampaignResult, RunResult
 from repro.experiments.store import ExperimentStore
 from repro.perception.transforms import WorldObjectEstimate
 from repro.runtime import ExecutorLike
@@ -27,10 +31,13 @@ from repro.sim.road import Road
 __all__ = [
     "Table1Row",
     "Table2Row",
+    "FusionDefenseRow",
     "table1_rows",
     "table2_rows",
     "table2_from_configs",
     "table2_from_store",
+    "fusion_defense_rows",
+    "fusion_defense_from_store",
     "headline_findings",
 ]
 
@@ -160,6 +167,91 @@ def table2_from_store(
             for config in configs
         ]
     return table2_rows(results)
+
+
+@dataclass(frozen=True)
+class FusionDefenseRow:
+    """One (scenario, fusion policy) cell of the defense-evaluation table."""
+
+    scenario_id: str
+    fusion_policy: str
+    n_campaigns: int
+    n_runs: int
+    attack_success_count: int
+    attack_success_rate: float
+    emergency_braking_rate: float
+
+    def format_row(self) -> str:
+        """A fixed-width text rendering (one line of the printed table)."""
+        return (
+            f"{self.scenario_id:<8s} {self.fusion_policy:<18s} "
+            f"{self.n_campaigns:>4d} {self.n_runs:>6d} "
+            f"{self.attack_success_rate:>8.1%} {self.emergency_braking_rate:>8.1%}"
+        )
+
+
+def _attack_succeeded(run: RunResult) -> bool:
+    # Same success rule as headline_findings: the Move_In vector aims for
+    # spurious emergency braking, every other vector for an accident.
+    if run.vector is AttackVector.MOVE_IN:
+        return bool(run.emergency_braking)
+    return bool(run.accident)
+
+
+def fusion_defense_rows(
+    campaigns: Sequence[Tuple[CampaignConfig, CampaignResult]],
+) -> List[FusionDefenseRow]:
+    """Aggregate attack success per (scenario, fusion policy) cell.
+
+    Takes (config, result) pairs — the config carries the effective fusion
+    policy (``CampaignConfig.fusion_policy``; defaulted configs count as
+    ``late``), the result carries the runs.  Rows are sorted by scenario then
+    policy, so a sweep over ``fusion.policy`` renders as a compact
+    defense-comparison table: which policy degrades attack success, on which
+    scenario, at what spurious-braking cost.
+    """
+    groups: Dict[Tuple[str, str], List[RunResult]] = {}
+    campaign_counts: Dict[Tuple[str, str], int] = {}
+    for config, result in campaigns:
+        key = (config.scenario_id, config.fusion_policy)
+        groups.setdefault(key, []).extend(result.runs)
+        campaign_counts[key] = campaign_counts.get(key, 0) + 1
+    rows: List[FusionDefenseRow] = []
+    for scenario_id, policy in sorted(groups):
+        runs = groups[(scenario_id, policy)]
+        n_runs = len(runs)
+        successes = sum(_attack_succeeded(run) for run in runs)
+        braking = sum(bool(run.emergency_braking) for run in runs)
+        rows.append(
+            FusionDefenseRow(
+                scenario_id=scenario_id,
+                fusion_policy=policy,
+                n_campaigns=campaign_counts[(scenario_id, policy)],
+                n_runs=n_runs,
+                attack_success_count=successes,
+                attack_success_rate=successes / n_runs if n_runs else 0.0,
+                emergency_braking_rate=braking / n_runs if n_runs else 0.0,
+            )
+        )
+    return rows
+
+
+def fusion_defense_from_store(
+    store: ExperimentStore, allow_partial: bool = False
+) -> List[FusionDefenseRow]:
+    """Build the fusion-defense table from every campaign recorded in a store.
+
+    Reads the store's manifests (which round-trip ``CampaignConfig.fusion``)
+    so each stored campaign lands in its (scenario, policy) cell — pre-refactor
+    manifests carry no fusion entry and count as the ``late`` default.  Like
+    :func:`table2_from_store`, incomplete campaigns raise unless
+    ``allow_partial=True``.
+    """
+    pairs = [
+        (config, store.campaign_result(config, allow_partial=allow_partial))
+        for _, config in sorted(store.manifests().items())
+    ]
+    return fusion_defense_rows(pairs)
 
 
 def headline_findings(

@@ -20,18 +20,58 @@ The fused lateral position is a confidence-weighted blend of the camera and
 LiDAR estimates, which is why hijacking the camera trajectory of a vehicle
 (still confirmed by LiDAR) needs a larger accumulated shift — and therefore a
 longer attack window — than hijacking a pedestrian seen only by the camera.
+
+Fusion policies
+---------------
+
+The fusion stage is pluggable: a *fusion policy* is anything with the
+``reset()`` / ``step(camera_estimates, lidar_scan, ego_speed_mps,
+frame_dt_s) -> List[FusedObstacle]`` interface, registered by name in
+:data:`FUSION_POLICIES` and selected through ``FusionConfig.policy``.  Four
+built-ins ship as first-class victim variants for defense evaluation:
+
+* ``late`` — the confidence-weighted camera/LiDAR fusion described above
+  (:class:`SensorFusion`); the default victim, bit-identical to the
+  pre-registry behaviour;
+* ``camera_only`` — the camera estimates pass straight through
+  (:class:`CameraOnlyFusion`); also what ``use_lidar=False`` resolves to,
+  and the pipeline RoboTack runs internally to reconstruct world state;
+* ``lidar_only`` — obstacles come from LiDAR returns alone
+  (:class:`LidarOnlyFusion`); immune to camera perturbation but blind to
+  camera-only objects (distant pedestrians) and classification-poor;
+* ``consistency_gated`` — late fusion that down-weights the camera while
+  the two modalities disagree laterally (:class:`ConsistencyGatedFusion`),
+  a sparse-fusion-style defense whose arbitration is itself an attack
+  surface (perturb one modality, exploit the gate).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Protocol, Tuple
 
 from repro.perception.transforms import WorldObjectEstimate
+from repro.runtime.registry import Registry
 from repro.sensors.lidar import LidarScan
 from repro.sim.actors import ActorKind
 
-__all__ = ["FusionConfig", "FusedObstacle", "SensorFusion"]
+__all__ = [
+    "FusionConfig",
+    "FusedObstacle",
+    "FusionPolicy",
+    "SensorFusion",
+    "CameraOnlyFusion",
+    "LidarOnlyFusion",
+    "ConsistencyGatedFusion",
+    "FUSION_POLICIES",
+    "DEFAULT_FUSION_POLICY",
+    "build_fusion_policy",
+    "list_fusion_policies",
+]
+
+#: The policy a defaulted :class:`FusionConfig` resolves to — the paper's
+#: camera-driven late-fusion victim.
+DEFAULT_FUSION_POLICY = "late"
 
 
 @dataclass(frozen=True)
@@ -74,12 +114,53 @@ class FusionConfig:
     #: A longer baseline suppresses detector noise while still capturing real
     #: lateral motion (a crossing pedestrian, or an attack-induced drift).
     lateral_velocity_baseline_frames: int = 10
+    #: Camera/LiDAR lateral disagreement (m) beyond which the
+    #: ``consistency_gated`` policy treats the modalities as inconsistent and
+    #: penalizes the camera.  Ignored by the other policies.
+    consistency_gate_m: float = 1.2
+    #: Multiplier applied to both camera blend weights while the modalities
+    #: disagree (``consistency_gated`` policy only).
+    consistency_camera_penalty: float = 0.25
+    #: Which registered fusion policy the perception pipeline instantiates.
+    #: See :data:`FUSION_POLICIES` for the built-ins.
+    policy: str = DEFAULT_FUSION_POLICY
+
+    _UNIT_INTERVAL_FIELDS = (
+        "camera_weight",
+        "camera_distance_weight",
+        "lateral_velocity_smoothing",
+        "consistency_camera_penalty",
+    )
+    _POSITIVE_COUNT_FIELDS = (
+        "fused_registration_frames",
+        "camera_only_registration_frames",
+        "lidar_only_registration_scans",
+        "camera_only_timeout_frames",
+        "lidar_backed_timeout_frames",
+        "lidar_only_timeout_scans",
+        "lateral_velocity_baseline_frames",
+    )
 
     def __post_init__(self) -> None:
-        if not 0.0 <= self.camera_weight <= 1.0:
-            raise ValueError("camera_weight must be in [0, 1]")
+        for name in self._UNIT_INTERVAL_FIELDS:
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {value!r}")
+        for name in self._POSITIVE_COUNT_FIELDS:
+            value = getattr(self, name)
+            if value <= 0:
+                raise ValueError(f"{name} must be positive, got {value!r}")
         if self.association_gate_m <= 0:
             raise ValueError("association gate must be positive")
+        if self.association_gate_range_factor < 0:
+            raise ValueError("association_gate_range_factor must be non-negative")
+        if self.consistency_gate_m <= 0:
+            raise ValueError("consistency_gate_m must be positive")
+        if self.policy not in FUSION_POLICIES:
+            raise ValueError(
+                f"unknown fusion policy {self.policy!r}; "
+                f"available: {', '.join(FUSION_POLICIES.keys())}"
+            )
 
 
 @dataclass(frozen=True)
@@ -135,11 +216,22 @@ class _FusedTrack:
 
 
 class SensorFusion:
-    """Blends camera world estimates and LiDAR scans into the ADS world model."""
+    """Blends camera world estimates and LiDAR scans into the ADS world model.
+
+    This is the ``late`` fusion policy — the paper's default victim.  The
+    camera/LiDAR blend weights are factored into :meth:`_blend_weights` so
+    that :class:`ConsistencyGatedFusion` can override the arbitration without
+    duplicating the track lifecycle; with the base weights the arithmetic is
+    bit-identical to the pre-policy implementation.
+    """
 
     def __init__(self, config: FusionConfig | None = None):
         self.config = config or FusionConfig()
         self._tracks: Dict[str, _FusedTrack] = {}
+
+    def _blend_weights(self, track: _FusedTrack) -> Tuple[float, float]:
+        """(lateral, distance) camera weights for a camera+LiDAR-fresh track."""
+        return (self.config.camera_weight, self.config.camera_distance_weight)
 
     def reset(self) -> None:
         """Drop all fused tracks."""
@@ -305,13 +397,14 @@ class SensorFusion:
                 sources.append("lidar")
 
             if camera_fresh and lidar_fresh:
+                lateral_weight, distance_weight = self._blend_weights(track)
                 lateral = (
-                    cfg.camera_weight * track.camera_lateral_m
-                    + (1.0 - cfg.camera_weight) * track.lidar_lateral_m
+                    lateral_weight * track.camera_lateral_m
+                    + (1.0 - lateral_weight) * track.lidar_lateral_m
                 )
                 distance = (
-                    cfg.camera_distance_weight * track.camera_distance_m
-                    + (1.0 - cfg.camera_distance_weight) * track.lidar_distance_m
+                    distance_weight * track.camera_distance_m
+                    + (1.0 - distance_weight) * track.lidar_distance_m
                 )
                 speed = track.lidar_speed_mps
             elif camera_fresh:
@@ -378,3 +471,233 @@ class SensorFusion:
             )
         obstacles.sort(key=lambda o: o.distance_m)
         return obstacles
+
+
+class ConsistencyGatedFusion(SensorFusion):
+    """Late fusion that distrusts the camera while the modalities disagree.
+
+    A sparse-fusion-style defense: when the camera and LiDAR lateral
+    estimates of one track diverge by more than ``consistency_gate_m``, both
+    camera blend weights are scaled by ``consistency_camera_penalty``, so the
+    (harder-to-spoof) LiDAR dominates until the modalities agree again.  The
+    gate is per-frame and per-track — it is also an attack surface, since a
+    hijacker that perturbs one modality controls when the gate trips.
+    """
+
+    def _blend_weights(self, track: _FusedTrack) -> Tuple[float, float]:
+        cfg = self.config
+        if abs(track.camera_lateral_m - track.lidar_lateral_m) > cfg.consistency_gate_m:
+            return (
+                cfg.camera_weight * cfg.consistency_camera_penalty,
+                cfg.camera_distance_weight * cfg.consistency_camera_penalty,
+            )
+        return (cfg.camera_weight, cfg.camera_distance_weight)
+
+
+class CameraOnlyFusion:
+    """Pass the camera world estimates straight through as the world model.
+
+    Bit-identical to the camera-only branch `PerceptionSystem` used to inline
+    for ``use_lidar=False`` (which now resolves to this policy): one obstacle
+    per camera estimate, in estimate order (already distance-sorted by the
+    transform stage), with the ego-relative velocity re-absolutized.  This is
+    also the reconstruction pipeline RoboTack runs inside the attacked
+    process, so it sits on the attacked golden-trace path.
+    """
+
+    def __init__(self, config: FusionConfig | None = None):
+        self.config = config or FusionConfig()
+
+    def reset(self) -> None:
+        """Stateless: nothing to drop."""
+
+    def step(
+        self,
+        camera_estimates: List[WorldObjectEstimate],
+        lidar_scan: Optional[LidarScan],
+        ego_speed_mps: float,
+        frame_dt_s: float,
+    ) -> List[FusedObstacle]:
+        return [
+            FusedObstacle(
+                obstacle_id=f"cam-{estimate.track_id}",
+                kind=estimate.kind,
+                distance_m=estimate.distance_m,
+                lateral_m=estimate.lateral_m,
+                longitudinal_speed_mps=max(
+                    0.0, ego_speed_mps + estimate.relative_longitudinal_velocity_mps
+                ),
+                lateral_velocity_mps=estimate.lateral_velocity_mps,
+                sources=("camera",),
+                actor_id=estimate.actor_id,
+            )
+            for estimate in camera_estimates
+        ]
+
+
+@dataclass
+class _LidarOnlyTrack:
+    kind: ActorKind
+    actor_id: int
+    distance_m: float = 0.0
+    lateral_m: float = 0.0
+    speed_mps: float = 0.0
+    scans_seen: int = 0
+    scans_since: int = 10_000
+    lateral_history: List[float] = field(default_factory=list)
+    lateral_velocity_mps: float = 0.0
+    registered: bool = False
+
+
+class LidarOnlyFusion:
+    """Build the world model from LiDAR returns alone.
+
+    Immune to camera-channel perturbation, but blind to camera-only objects
+    (distant pedestrians never enter the world model) and stuck with the
+    LiDAR's coarse classification.  Association is trivial — LiDAR detections
+    carry the simulated actor id — so the interesting dynamics are the
+    registration persistence (``fused_registration_frames`` scans: LiDAR-only
+    here is the *primary* channel, not an unclassified residue, so it
+    registers at the fused cadence) and the scan-domain timeout
+    (``lidar_only_timeout_scans``).  The lateral-velocity estimator reuses the
+    late policy's jump-reset + differenced-baseline + exponential smoothing,
+    evaluated only on frames that carry a scan.
+    """
+
+    def __init__(self, config: FusionConfig | None = None):
+        self.config = config or FusionConfig()
+        self._tracks: Dict[int, _LidarOnlyTrack] = {}
+
+    def reset(self) -> None:
+        """Drop all LiDAR tracks."""
+        self._tracks.clear()
+
+    def step(
+        self,
+        camera_estimates: List[WorldObjectEstimate],
+        lidar_scan: Optional[LidarScan],
+        ego_speed_mps: float,
+        frame_dt_s: float,
+    ) -> List[FusedObstacle]:
+        cfg = self.config
+        tracks = self._tracks
+        if lidar_scan is not None:
+            for track in tracks.values():
+                track.scans_since += 1
+            for detection in lidar_scan.detections:
+                track = tracks.get(detection.actor_id)
+                if track is None:
+                    track = _LidarOnlyTrack(kind=detection.kind, actor_id=detection.actor_id)
+                    tracks[detection.actor_id] = track
+                track.scans_seen += 1
+                track.scans_since = 0
+                track.distance_m = detection.distance_m
+                track.lateral_m = detection.lateral_m
+                track.speed_mps = detection.velocity.x
+                track.kind = detection.kind
+                if not track.registered and track.scans_seen >= cfg.fused_registration_frames:
+                    track.registered = True
+            stale = [
+                actor_id
+                for actor_id, track in tracks.items()
+                if track.scans_since > cfg.lidar_only_timeout_scans
+            ]
+            for actor_id in stale:
+                del tracks[actor_id]
+
+        obstacles: List[FusedObstacle] = []
+        alpha = cfg.lateral_velocity_smoothing
+        baseline = cfg.lateral_velocity_baseline_frames
+        for track in tracks.values():
+            if track.scans_since == 0:
+                history = track.lateral_history
+                if history and abs(track.lateral_m - history[-1]) > 1.0:
+                    history.clear()
+                    track.lateral_velocity_mps = 0.0
+                history.append(track.lateral_m)
+                if len(history) > baseline + 1:
+                    del history[: -(baseline + 1)]
+                if len(history) >= 2:
+                    span = len(history) - 1
+                    raw_lateral_velocity = (history[-1] - history[0]) / (span * frame_dt_s)
+                else:
+                    raw_lateral_velocity = 0.0
+                track.lateral_velocity_mps = (
+                    (1 - alpha) * track.lateral_velocity_mps + alpha * raw_lateral_velocity
+                )
+            else:
+                track.lateral_velocity_mps *= 0.8
+            if not track.registered:
+                continue
+            obstacles.append(
+                FusedObstacle(
+                    obstacle_id=f"lidar-{track.actor_id}",
+                    kind=track.kind,
+                    distance_m=track.distance_m,
+                    lateral_m=track.lateral_m,
+                    longitudinal_speed_mps=track.speed_mps,
+                    lateral_velocity_mps=track.lateral_velocity_mps,
+                    sources=("lidar",),
+                    actor_id=track.actor_id,
+                )
+            )
+        obstacles.sort(key=lambda o: o.distance_m)
+        return obstacles
+
+
+class FusionPolicy(Protocol):
+    """Structural interface every fusion policy satisfies."""
+
+    config: FusionConfig
+
+    def reset(self) -> None: ...
+
+    def step(
+        self,
+        camera_estimates: List[WorldObjectEstimate],
+        lidar_scan: Optional[LidarScan],
+        ego_speed_mps: float,
+        frame_dt_s: float,
+    ) -> List[FusedObstacle]: ...
+
+
+#: Registry of fusion-policy factories (``FusionConfig -> FusionPolicy``).
+#: Third-party policies register here and become sweepable/CLI-selectable;
+#: the batch engine only ports the built-ins and rejects anything else.
+FUSION_POLICIES: Registry[Callable[[FusionConfig], "FusionPolicy"]] = Registry(
+    "fusion policy"
+)
+
+FUSION_POLICIES.register(
+    "late",
+    SensorFusion,
+    description="confidence-weighted camera/LiDAR late fusion (paper default victim)",
+)
+FUSION_POLICIES.register(
+    "camera_only",
+    CameraOnlyFusion,
+    description="camera estimates pass through; use_lidar=False alias",
+)
+FUSION_POLICIES.register(
+    "lidar_only",
+    LidarOnlyFusion,
+    description="world model from LiDAR returns alone",
+)
+FUSION_POLICIES.register(
+    "consistency_gated",
+    ConsistencyGatedFusion,
+    description="late fusion that down-weights the camera on modality disagreement",
+)
+
+
+def build_fusion_policy(
+    name: str, config: FusionConfig | None = None
+) -> "FusionPolicy":
+    """Instantiate the registered fusion policy ``name`` with ``config``."""
+    factory = FUSION_POLICIES.get(name)
+    return factory(config or FusionConfig())
+
+
+def list_fusion_policies() -> List[str]:
+    """Registered fusion-policy names, sorted."""
+    return sorted(FUSION_POLICIES.keys())

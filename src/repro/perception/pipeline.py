@@ -1,14 +1,18 @@
 """The full perception system facade.
 
 ``PerceptionSystem`` wires together the simulated detector, the multi-object
-tracker, the image-to-world transformation, and (optionally) the camera/LiDAR
-fusion — the pipeline labelled "Perception System" in paper Fig. 1.
+tracker, the image-to-world transformation, and a registry-selected fusion
+policy — the pipeline labelled "Perception System" in paper Fig. 1.
 
 Two configurations are used in the reproduction:
 
-* the **victim ADS** runs the full pipeline with LiDAR fusion enabled;
+* the **victim ADS** runs the full pipeline with the fusion policy named by
+  ``PerceptionConfig.fusion.policy`` (``late`` by default);
 * **RoboTack** runs a camera-only instance to reconstruct its own approximate
   world state from the tapped camera feed (paper §III-D, Phase 2).
+
+``use_lidar=False`` is kept as a deprecated alias that forces the
+``camera_only`` policy; there is no separate camera-only code path anymore.
 """
 
 from __future__ import annotations
@@ -19,7 +23,7 @@ from typing import List, Optional
 import numpy as np
 
 from repro.perception.detection import Detection, DetectorConfig, SimulatedDetector
-from repro.perception.fusion import FusedObstacle, FusionConfig, SensorFusion
+from repro.perception.fusion import FusedObstacle, FusionConfig, build_fusion_policy
 from repro.perception.mot import MultiObjectTracker, TrackerConfig
 from repro.perception.tracker import ObjectTrack
 from repro.perception.transforms import ImageToWorldTransform, WorldObjectEstimate
@@ -36,8 +40,16 @@ class PerceptionConfig:
     detector: DetectorConfig = field(default_factory=DetectorConfig)
     tracker: TrackerConfig = field(default_factory=TrackerConfig)
     fusion: FusionConfig = field(default_factory=FusionConfig)
+    #: Deprecated alias: ``False`` forces the ``camera_only`` fusion policy,
+    #: overriding ``fusion.policy``.  Prefer
+    #: ``fusion=FusionConfig(policy="camera_only")``.
     use_lidar: bool = True
     frame_dt_s: float = 1.0 / 15.0
+
+    @property
+    def fusion_policy(self) -> str:
+        """The fusion-policy name this config resolves to."""
+        return self.fusion.policy if self.use_lidar else "camera_only"
 
 
 @dataclass(frozen=True)
@@ -82,15 +94,14 @@ class PerceptionSystem:
         self.detector = SimulatedDetector(self.config.detector, rng=rng)
         self.tracker = MultiObjectTracker(self.config.tracker)
         self.transform = ImageToWorldTransform(frame_dt_s=self.config.frame_dt_s)
-        self.fusion = SensorFusion(self.config.fusion) if self.config.use_lidar else None
+        self.fusion = build_fusion_policy(self.config.fusion_policy, self.config.fusion)
 
     def reset(self) -> None:
         """Reset all stateful stages."""
         self.detector.reset()
         self.tracker.reset()
         self.transform.reset()
-        if self.fusion is not None:
-            self.fusion.reset()
+        self.fusion.reset()
 
     def process(
         self,
@@ -108,29 +119,12 @@ class PerceptionSystem:
         # the whole track-retirement window.
         observed_tracks = [t for t in tracks if t.consecutive_misses <= 1]
         world_estimates = self.transform.transform(observed_tracks)
-        if self.fusion is not None:
-            obstacles = self.fusion.step(
-                camera_estimates=world_estimates,
-                lidar_scan=lidar_scan,
-                ego_speed_mps=ego_speed_mps,
-                frame_dt_s=self.config.frame_dt_s,
-            )
-        else:
-            obstacles = [
-                FusedObstacle(
-                    obstacle_id=f"cam-{estimate.track_id}",
-                    kind=estimate.kind,
-                    distance_m=estimate.distance_m,
-                    lateral_m=estimate.lateral_m,
-                    longitudinal_speed_mps=max(
-                        0.0, ego_speed_mps + estimate.relative_longitudinal_velocity_mps
-                    ),
-                    lateral_velocity_mps=estimate.lateral_velocity_mps,
-                    sources=("camera",),
-                    actor_id=estimate.actor_id,
-                )
-                for estimate in world_estimates
-            ]
+        obstacles = self.fusion.step(
+            camera_estimates=world_estimates,
+            lidar_scan=lidar_scan,
+            ego_speed_mps=ego_speed_mps,
+            frame_dt_s=self.config.frame_dt_s,
+        )
         return PerceptionOutput(
             time_s=camera_frame.time_s,
             frame_index=camera_frame.frame_index,

@@ -11,10 +11,14 @@ durable per-run recording (``--store``), and the full scenario catalog
 * ``--scenario DS-6 --attacker robotack --vector disappear`` runs a single
   custom campaign against any registered scenario and prints its summary row;
 * ``sweep`` expands a declarative parameter space (``--param`` axes over
-  ``variation.*`` / ``simulation.*`` / ``detector.*``) into one campaign per
-  sweep point and records every run in the experiment store;
+  ``variation.*`` / ``simulation.*`` / ``detector.*`` / ``fusion.*``) into
+  one campaign per sweep point and records every run in the experiment store;
 * ``resume`` finishes every interrupted campaign found in a store — the
   resumed statistics are bit-identical to an uninterrupted run;
+
+``--fusion POLICY`` (on run, sweep, and resume) selects the fusion-policy
+victim variant (late, camera_only, lidar_only, consistency_gated); resume
+uses it as a filter over the store's incomplete campaigns.
 * ``train`` runs the safety-hijacker training pipeline for one
   (scenario, vector) pair: parallel, resumable dataset collection streamed
   into the store, training of the paper's 100-100-50 oracle, and publication
@@ -28,6 +32,10 @@ Examples::
     repro-campaign --scenario DS-1 --attacker none --store runs/ --runs 50
     repro-campaign sweep --scenario DS-1 --store runs/ --sampler lhs --n 50 \\
         --param variation.lead_gap_offset_m=-8:8 --param detector.sigma_scale=1:2
+    repro-campaign sweep --scenario DS-2 --store runs/ --sampler grid \\
+        --param fusion.policy=late,lidar_only,consistency_gated \\
+        --param fusion.camera_weight=0.4:0.8:3
+    repro-campaign --scenario DS-1 --attacker none --fusion lidar_only --runs 20
     repro-campaign resume --store runs/ --jobs -1
     repro-campaign train --scenario DS-2 --vector disappear --store runs/ --jobs -1
     repro-campaign --list-scenarios
@@ -130,6 +138,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="safety-potential oracle (neural, kinematic)",
     )
     parser.add_argument(
+        "--fusion",
+        default=None,
+        action=_TrackedStore,
+        help="fusion-policy victim variant (late, camera_only, lidar_only, "
+        "consistency_gated); default: the scenario's own fusion (late)",
+    )
+    parser.add_argument(
         "--engine",
         default="scalar",
         choices=("scalar", "batch"),
@@ -162,9 +177,10 @@ def build_parser() -> argparse.ArgumentParser:
         "sweep",
         help="expand a declarative parameter space into campaigns and run them",
         description=(
-            "Expand a parameter space over variation.*, simulation.*, and "
-            "detector.* axes into one campaign per sweep point, execute the "
-            "batch, and durably record every run in the experiment store."
+            "Expand a parameter space over variation.*, simulation.*, "
+            "detector.*, and fusion.* axes into one campaign per sweep "
+            "point, execute the batch, and durably record every run in the "
+            "experiment store."
         ),
     )
     # Subcommand flags share names with the top-level flags but get their
@@ -185,6 +201,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="attack vector (robotack modes)")
     sweep.add_argument("--predictor", dest="sub_predictor", default="neural",
                        help="safety oracle kind")
+    sweep.add_argument("--fusion", dest="sub_fusion", default=None,
+                       help="fusion-policy victim variant for every sweep "
+                       "point (fusion.* axes apply on top of it)")
     sweep.add_argument("--runs", dest="sub_runs", type=int, default=3,
                        help="runs per sweep point")
     sweep.add_argument("--seed", dest="sub_seed", type=int, default=2020,
@@ -280,6 +299,10 @@ def build_parser() -> argparse.ArgumentParser:
                         "are engine-independent, so mixing is safe)")
     resume.add_argument("--batch-size", dest="sub_batch_size", type=int, default=16,
                         help="lockstep runs per work item when --engine batch")
+    resume.add_argument("--fusion", dest="sub_fusion", default=None,
+                        help="only resume campaigns whose effective fusion "
+                        "policy matches (stored configs without a fusion "
+                        "override count as 'late')")
     return parser
 
 
@@ -301,7 +324,7 @@ def _adopt_subcommand_args(args: argparse.Namespace) -> None:
             f"(e.g. repro-campaign {args.command} {flags.split(',')[0]} ...)"
         )
     for name in ("scenario", "store", "attacker", "vector", "predictor",
-                 "runs", "seed", "jobs", "engine", "batch_size"):
+                 "fusion", "runs", "seed", "jobs", "engine", "batch_size"):
         if hasattr(args, "sub_" + name):
             setattr(args, name, getattr(args, "sub_" + name))
 
@@ -314,7 +337,23 @@ def _print_scenarios() -> None:
         print(f"  {scenario_id:<6s} {description}")
 
 
+def _parse_fusion(args: argparse.Namespace):
+    """Convert ``--fusion POLICY`` into a FusionConfig (or None when unset)."""
+    from repro.perception.fusion import FusionConfig, list_fusion_policies
+
+    if args.fusion is None:
+        return None
+    if args.fusion not in list_fusion_policies():
+        raise SystemExit(
+            f"unknown fusion policy {args.fusion!r}; "
+            f"choose from {list_fusion_policies()}"
+        )
+    return FusionConfig(policy=args.fusion)
+
+
 def _run_table2_suite(args: argparse.Namespace) -> None:
+    import dataclasses
+
     from repro.experiments.campaign import (
         baseline_random_campaign,
         run_campaigns,
@@ -325,6 +364,9 @@ def _run_table2_suite(args: argparse.Namespace) -> None:
 
     configs = list(standard_campaigns(n_runs=args.runs, seed=args.seed))
     configs.append(baseline_random_campaign(n_runs=args.runs, seed=args.seed))
+    fusion = _parse_fusion(args)
+    if fusion is not None:
+        configs = [dataclasses.replace(config, fusion=fusion) for config in configs]
     print(
         f"Running {len(configs)} campaigns x {args.runs} runs "
         f"(jobs={args.jobs}, seed={args.seed}) ..."
@@ -394,6 +436,7 @@ def _run_single_campaign(args: argparse.Namespace) -> None:
     from repro.experiments.metrics import summarize_campaign
 
     attacker, vector, predictor = _parse_campaign_kinds(args)
+    fusion = _parse_fusion(args)
     vector_label = vector.name.title() if vector is not None else attacker.value.title()
     config = CampaignConfig(
         campaign_id=f"{args.scenario}-{vector_label}-cli",
@@ -403,6 +446,7 @@ def _run_single_campaign(args: argparse.Namespace) -> None:
         n_runs=args.runs,
         seed=args.seed,
         predictor=predictor,
+        fusion=fusion,
     )
     print(f"Running {config.campaign_id}: {args.runs} runs (jobs={args.jobs}) ...")
     result = run_campaign(
@@ -422,6 +466,7 @@ def _run_sweep(args: argparse.Namespace) -> None:
     from repro.sim.sweeps import ParameterSpace, parse_axis, sweep_campaigns
 
     attacker, vector, predictor = _parse_campaign_kinds(args)
+    fusion = _parse_fusion(args)
     space = None
     if args.param:
         try:
@@ -437,6 +482,7 @@ def _run_sweep(args: argparse.Namespace) -> None:
         n_runs=args.runs,
         seed=args.seed,
         predictor=predictor,
+        fusion=fusion,
     )
     try:
         configs = sweep_campaigns(
@@ -562,6 +608,25 @@ def _run_resume(args: argparse.Namespace) -> None:
         raise SystemExit(f"no experiment store at {args.store!r} (directory not found)")
     store = ExperimentStore(args.store)
     worklist = store.incomplete_campaigns()
+    if args.fusion is not None:
+        from repro.perception.fusion import list_fusion_policies
+
+        if args.fusion not in list_fusion_policies():
+            raise SystemExit(
+                f"unknown fusion policy {args.fusion!r}; "
+                f"choose from {list_fusion_policies()}"
+            )
+        worklist = [
+            (config, missing)
+            for config, missing in worklist
+            if config.fusion_policy == args.fusion
+        ]
+        if not worklist:
+            print(
+                f"Nothing to resume: no incomplete campaign in {args.store} "
+                f"runs the {args.fusion!r} fusion policy."
+            )
+            return
     if not worklist:
         print(f"Nothing to resume: every campaign in {args.store} is complete.")
         return

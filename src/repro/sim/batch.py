@@ -44,7 +44,9 @@ Restrictions (the scalar path has none of these):
 
 * every lane shares one :class:`SimulationConfig` (lockstep needs one ``dt``);
 * the agents must be freshly built (no carried-over perception state) and run
-  the LiDAR-fused pipeline (``use_lidar=True``), which the victim always does.
+  one of the built-in fusion policies (``late``, ``consistency_gated``,
+  ``camera_only``, ``lidar_only``), each of which has a plain-float port here;
+  third-party fusion policies need the scalar Simulator.
 
 Attackers are invoked as black boxes on real :class:`CameraFrame` objects, so
 any scalar attacker composes unchanged (at the cost of building frame
@@ -64,6 +66,12 @@ from repro.ads.prediction import _NOMINAL_HALF_LENGTH_M, _NOMINAL_HALF_WIDTH_M
 from repro.ads.safety import SafetyModel
 from repro.geometry.bbox import BoundingBox
 from repro.geometry.vec import Vec2
+from repro.perception.fusion import (
+    CameraOnlyFusion,
+    ConsistencyGatedFusion,
+    LidarOnlyFusion,
+    SensorFusion,
+)
 from repro.perception.hungarian import hungarian_assignment
 from repro.perception.transforms import NOMINAL_HEIGHT_M
 from repro.sensors.camera import CameraFrame, CameraObject, CameraSensor
@@ -319,6 +327,26 @@ class _Fused:
         self.registered = False
 
 
+class _LidarOnly:
+    """Plain-float port of the fusion module's ``_LidarOnlyTrack``."""
+
+    __slots__ = ("kind", "actor_id", "distance", "lateral", "speed",
+                 "scans_seen", "scans_since", "lateral_history",
+                 "lateral_velocity", "registered")
+
+    def __init__(self, kind, actor_id):
+        self.kind = kind
+        self.actor_id = actor_id
+        self.distance = 0.0
+        self.lateral = 0.0
+        self.speed = 0.0
+        self.scans_seen = 0
+        self.scans_since = 10_000
+        self.lateral_history: List[float] = []
+        self.lateral_velocity = 0.0
+        self.registered = False
+
+
 @dataclass
 class BatchRunSpec:
     """One lane of a batch: a scenario, its victim agent, and its seeds."""
@@ -352,11 +380,24 @@ class _Lane:
         sensor_seeds = rng.integers(0, 2**31 - 1, size=2)
 
         perception = ads.perception
-        if perception.fusion is None:
+        fusion_type = type(perception.fusion)
+        # Exact-type dispatch: a third-party subclass has unknown semantics
+        # and must not silently run the base class's port.  The subclass
+        # ConsistencyGatedFusion is listed before its base SensorFusion only
+        # for readability — ``type() is`` does not chase the MRO.
+        if fusion_type is ConsistencyGatedFusion:
+            self.fusion_mode = "consistency_gated"
+        elif fusion_type is SensorFusion:
+            self.fusion_mode = "late"
+        elif fusion_type is CameraOnlyFusion:
+            self.fusion_mode = "camera_only"
+        elif fusion_type is LidarOnlyFusion:
+            self.fusion_mode = "lidar_only"
+        else:
             raise ValueError(
-                "BatchSimulator supports only the LiDAR-fused victim pipeline "
-                "(PerceptionConfig.use_lidar=True); use the scalar Simulator "
-                "for camera-only agents"
+                "BatchSimulator has plain-float ports of the built-in fused "
+                f"fusion policies only; got {fusion_type.__name__}. Use the "
+                "scalar Simulator for custom fusion policies"
             )
 
         self.pool = pool
@@ -417,6 +458,23 @@ class _Lane:
         self.om_falpha = 1 - f_cfg.lateral_velocity_smoothing
         self.baseline_p1 = f_cfg.lateral_velocity_baseline_frames + 1
         self.fusion_tracks: Dict[tuple, _Fused] = {}
+        # Consistency gate (consistency_gated policy): the penalized weights
+        # are formed as weight * penalty, the same operands and order as the
+        # scalar ConsistencyGatedFusion._blend_weights, so they stay
+        # bit-identical.
+        self.cons_enabled = self.fusion_mode == "consistency_gated"
+        self.cons_gate = f_cfg.consistency_gate_m
+        self.pen_cam_w = f_cfg.camera_weight * f_cfg.consistency_camera_penalty
+        self.om_pen_cam_w = 1.0 - self.pen_cam_w
+        self.pen_cam_dw = f_cfg.camera_distance_weight * f_cfg.consistency_camera_penalty
+        self.om_pen_cam_dw = 1.0 - self.pen_cam_dw
+        self.lidar_only_tracks: Dict[int, _LidarOnly] = {}
+        if self.fusion_mode == "camera_only":
+            self._fuse_impl = self._fuse_camera_only
+        elif self.fusion_mode == "lidar_only":
+            self._fuse_impl = self._fuse_lidar_only
+        else:
+            self._fuse_impl = self._fuse
 
         # --- planner / PID / smoother ---
         p_cfg = ads.planner_config
@@ -833,7 +891,8 @@ class _Lane:
         frame_dt = self.frame_dt
         alpha = self.tf_alpha
         om_alpha = self.tf_om_alpha
-        estimates = []  # (distance, lateral, rel_velocity, track_id, actor_id, kind)
+        # (distance, lateral, rel_velocity, lateral_velocity, track_id, actor_id, kind)
+        estimates = []
         for track in self.observed:
             height_px = track.h
             nominal = self.nominal_h[track.kind]
@@ -846,6 +905,7 @@ class _Lane:
             if record is None:
                 history[track.track_id] = [distance, lateral, 0.0, 0.0, 0.0]
                 velocity = 0.0
+                lateral_velocity = 0.0
             else:
                 raw_v = (distance - record[0]) / frame_dt
                 raw_lv = (lateral - record[1]) / frame_dt
@@ -858,7 +918,7 @@ class _Lane:
                 record[2] = velocity
                 record[3] = lateral_velocity
                 record[4] = acceleration
-            estimates.append((distance, lateral, velocity,
+            estimates.append((distance, lateral, velocity, lateral_velocity,
                               track.track_id, track.actor_id, track.kind))
         if history:
             live = {track.track_id for track in self.observed}
@@ -866,8 +926,8 @@ class _Lane:
                 del history[tid]
         estimates.sort(key=_first)
 
-        # --- fusion ---
-        obstacles = self._fuse(estimates)
+        # --- fusion (dispatched on the lane's fusion policy) ---
+        obstacles = self._fuse_impl(estimates)
 
         # --- planning (LongitudinalPlanner port) ---
         ego_speed = self.gps_speed
@@ -1068,7 +1128,12 @@ class _Lane:
         return best
 
     def _fuse(self, estimates: List[tuple]) -> List[tuple]:
-        """Returns distance-sorted (kind, distance, lateral, speed, lat_vel)."""
+        """Returns distance-sorted (kind, distance, lateral, speed, lat_vel).
+
+        Port of ``SensorFusion`` (the ``late`` policy) — and, through the
+        weight selection in the camera+LiDAR-fresh branch, of
+        ``ConsistencyGatedFusion`` when ``cons_enabled`` is set.
+        """
         tracks = self.fusion_tracks
         lidar = self.last_lidar
         for fused in tracks.values():
@@ -1076,7 +1141,7 @@ class _Lane:
             if lidar is not None:
                 fused.scans_since_lidar += 1
 
-        for distance, lateral, velocity, track_id, actor_id, kind in estimates:
+        for distance, lateral, velocity, _lat_vel, track_id, actor_id, kind in estimates:
             key = ("cam", track_id)
             fused = tracks.get(key)
             if fused is None:
@@ -1143,10 +1208,24 @@ class _Lane:
             camera_fresh = fused.frames_since_camera <= 2 and fused.camera_frames_seen > 0
             lidar_fresh = fused.scans_since_lidar <= 2 and fused.lidar_scans_seen > 0
             if camera_fresh and lidar_fresh:
-                lateral = self.cam_w * fused.camera_lateral + self.om_cam_w * fused.lidar_lateral
-                distance = (
-                    self.cam_dw * fused.camera_distance + self.om_cam_dw * fused.lidar_distance
-                )
+                if self.cons_enabled and (
+                    abs(fused.camera_lateral - fused.lidar_lateral) > self.cons_gate
+                ):
+                    lateral = (
+                        self.pen_cam_w * fused.camera_lateral
+                        + self.om_pen_cam_w * fused.lidar_lateral
+                    )
+                    distance = (
+                        self.pen_cam_dw * fused.camera_distance
+                        + self.om_pen_cam_dw * fused.lidar_distance
+                    )
+                else:
+                    lateral = (
+                        self.cam_w * fused.camera_lateral + self.om_cam_w * fused.lidar_lateral
+                    )
+                    distance = (
+                        self.cam_dw * fused.camera_distance + self.om_cam_dw * fused.lidar_distance
+                    )
                 speed = fused.lidar_speed
             elif camera_fresh:
                 lateral = fused.camera_lateral
@@ -1190,6 +1269,75 @@ class _Lane:
             if fused.registered:
                 obstacles.append((fused.kind, distance, lateral, speed,
                                   fused.lateral_velocity))
+        obstacles.sort(key=_second)
+        return obstacles
+
+    def _fuse_camera_only(self, estimates: List[tuple]) -> List[tuple]:
+        """Port of ``CameraOnlyFusion``: camera estimates pass straight through.
+
+        Estimates are already distance-sorted, matching the scalar policy's
+        output order, so no re-sort is needed.
+        """
+        ego_speed = self.gps_speed
+        obstacles = []
+        for distance, lateral, velocity, lat_vel, _track_id, _actor_id, kind in estimates:
+            speed = ego_speed + velocity
+            if not speed > 0.0:
+                speed = 0.0
+            obstacles.append((kind, distance, lateral, speed, lat_vel))
+        return obstacles
+
+    def _fuse_lidar_only(self, estimates: List[tuple]) -> List[tuple]:
+        """Port of ``LidarOnlyFusion``: the world model from LiDAR alone."""
+        tracks = self.lidar_only_tracks
+        lidar = self.last_lidar
+        if lidar is not None:
+            for track in tracks.values():
+                track.scans_since += 1
+            for distance, lateral, actor_id, kind, speed in lidar:
+                track = tracks.get(actor_id)
+                if track is None:
+                    track = _LidarOnly(kind, actor_id)
+                    tracks[actor_id] = track
+                track.scans_seen += 1
+                track.scans_since = 0
+                track.distance = distance
+                track.lateral = lateral
+                track.speed = speed
+                track.kind = kind
+                if not track.registered and track.scans_seen >= self.fused_reg:
+                    track.registered = True
+            stale = [
+                actor_id
+                for actor_id, track in tracks.items()
+                if track.scans_since > self.lidar_timeout
+            ]
+            for actor_id in stale:
+                del tracks[actor_id]
+
+        obstacles = []
+        for track in tracks.values():
+            if track.scans_since == 0:
+                lat_history = track.lateral_history
+                if lat_history and abs(track.lateral - lat_history[-1]) > 1.0:
+                    lat_history.clear()
+                    track.lateral_velocity = 0.0
+                lat_history.append(track.lateral)
+                if len(lat_history) > self.baseline_p1:
+                    del lat_history[: -self.baseline_p1]
+                n = len(lat_history)
+                if n >= 2:
+                    raw = (lat_history[-1] - lat_history[0]) / ((n - 1) * self.frame_dt)
+                else:
+                    raw = 0.0
+                track.lateral_velocity = (
+                    self.om_falpha * track.lateral_velocity + self.falpha * raw
+                )
+            else:
+                track.lateral_velocity *= 0.8
+            if track.registered:
+                obstacles.append((track.kind, track.distance, track.lateral,
+                                  track.speed, track.lateral_velocity))
         obstacles.sort(key=_second)
         return obstacles
 

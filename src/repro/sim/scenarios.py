@@ -54,6 +54,7 @@ from repro.utils.units import kph_to_mps
 if TYPE_CHECKING:  # pragma: no cover - the sensing stack imports sim.actors,
     # so importing it back here at runtime would be circular.
     from repro.perception.detection import DetectorConfig
+    from repro.perception.fusion import FusionConfig
 
 __all__ = [
     "VARIATION_SAMPLING_RANGES",
@@ -134,6 +135,9 @@ class DrivingScenario:
     metadata: Dict[str, float] = field(default_factory=dict)
     #: Detector override for degraded-sensing scenarios (``None`` = default).
     detector_config: Optional["DetectorConfig"] = None
+    #: Fusion-policy override for fusion-variant victims (``None`` = the
+    #: default late-fusion policy).
+    fusion_config: Optional["FusionConfig"] = None
 
 
 #: Signature every registered scenario builder must satisfy.

@@ -6,7 +6,7 @@ uniformly at random (Monte-Carlo campaigns).  Systematic attack evaluation —
 density does the intrusion detector stop seeing the attack?" — needs the dual:
 *chosen* points of the perturbation space, each evaluated as its own campaign.
 
-A :class:`ParameterSpace` declares axes over three namespaces:
+A :class:`ParameterSpace` declares axes over four namespaces:
 
 * ``variation.*``  — the :class:`ScenarioVariation` initial-condition fields
   (``variation.lead_gap_offset_m``, ``variation.ego_speed_scale``, ...);
@@ -14,7 +14,12 @@ A :class:`ParameterSpace` declares axes over three namespaces:
   (``simulation.halt_gap_m``, ``simulation.max_duration_s``, ...);
 * ``detector.*``   — :class:`~repro.perception.detection.DetectorDegradation`
   factors (``detector.sigma_scale``, ``detector.range_scale``, ...), the
-  fog/low-light axis of the DS-7 extension.
+  fog/low-light axis of the DS-7 extension;
+* ``fusion.*``     — :class:`~repro.perception.fusion.FusionConfig` fields,
+  the fusion-policy victim variants (``fusion.policy=late,lidar_only``,
+  ``fusion.camera_weight=0.3:0.9``, ``fusion.consistency_gate_m=0.5:2.5``)
+  behind the defense-evaluation table
+  (:func:`repro.experiments.tables.fusion_defense_from_store`).
 
 Each axis is a :class:`Uniform` interval or a discrete :class:`Choice`, and
 the space expands into concrete assignments through three samplers — full
@@ -45,6 +50,7 @@ from typing import TYPE_CHECKING, Dict, List, Mapping, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.perception.detection import DetectorDegradation
+from repro.perception.fusion import FusionConfig
 from repro.sim.config import SimulationConfig
 from repro.sim.scenarios import VARIATION_SAMPLING_RANGES, ScenarioVariation
 
@@ -124,6 +130,7 @@ _NAMESPACE_FIELDS: Dict[str, Dict[str, type]] = {
     "variation": typing.get_type_hints(ScenarioVariation),
     "simulation": typing.get_type_hints(SimulationConfig),
     "detector": typing.get_type_hints(DetectorDegradation),
+    "fusion": typing.get_type_hints(FusionConfig),
 }
 
 
@@ -347,7 +354,9 @@ def default_variation_space() -> ParameterSpace:
 def _apply_assignment(
     base: "CampaignConfig", assignment: Assignment, campaign_id: str
 ) -> "CampaignConfig":
-    updates: Dict[str, Dict[str, object]] = {"variation": {}, "simulation": {}, "detector": {}}
+    updates: Dict[str, Dict[str, object]] = {
+        "variation": {}, "simulation": {}, "detector": {}, "fusion": {},
+    }
     for path, value in assignment.items():
         _validate_path(path)
         namespace, _, name = path.partition(".")
@@ -366,6 +375,12 @@ def _apply_assignment(
         replacements["detector_degradation"] = dataclasses.replace(
             degradation, **updates["detector"]
         )
+    if updates["fusion"]:
+        # dataclasses.replace re-runs FusionConfig.__post_init__, so a swept
+        # point with an invalid weight or unknown policy fails at expansion
+        # time, before any simulation runs.
+        fusion = base.fusion or FusionConfig()
+        replacements["fusion"] = dataclasses.replace(fusion, **updates["fusion"])
     return dataclasses.replace(base, **replacements)
 
 

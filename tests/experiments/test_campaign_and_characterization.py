@@ -59,6 +59,79 @@ class TestCampaignConfig:
         assert config.attacker is AttackerKind.RANDOM
 
 
+class TestCampaignFusionConfig:
+    """The fusion field's store-compat contract: defaulted configs hash as
+    before the fusion-policy refactor, so existing stores stay addressable."""
+
+    def _default_configs(self):
+        return [
+            CampaignConfig(campaign_id="pin-1", scenario_id="DS-1", attacker=AttackerKind.NONE),
+            CampaignConfig(
+                campaign_id="pin-2",
+                scenario_id="DS-2",
+                attacker=AttackerKind.ROBOTACK,
+                vector=AttackVector.DISAPPEAR,
+                n_runs=5,
+                seed=11,
+            ),
+        ]
+
+    def test_defaulted_config_hashes_are_pinned(self):
+        # Captured from the pre-refactor cache_key(); a change here breaks
+        # content-addressing of every store written before the refactor.
+        from repro.experiments.store import config_hash
+
+        c1, c2 = self._default_configs()
+        assert config_hash(c1) == (
+            "49cccc6f4125928c200b776a102bd1f9228b4fb25dc062e69ab7eb14e571e3da"
+        )
+        assert config_hash(c2) == (
+            "54cbdcad3969285571d1ae77adb40891a5ea5eb5f4b28daac486c450e7fd7b3f"
+        )
+
+    def test_fusion_config_changes_hash(self):
+        from repro.experiments.store import config_hash
+        from repro.perception.fusion import FusionConfig
+
+        base, _ = self._default_configs()
+        with_fusion = dataclasses.replace(base, fusion=FusionConfig(policy="lidar_only"))
+        assert config_hash(with_fusion) != config_hash(base)
+        # Even an all-default FusionConfig is a distinct (explicit) choice.
+        with_default_fusion = dataclasses.replace(base, fusion=FusionConfig())
+        assert config_hash(with_default_fusion) != config_hash(base)
+
+    def test_fusion_policy_property(self):
+        from repro.perception.fusion import FusionConfig
+
+        base, _ = self._default_configs()
+        assert base.fusion_policy == "late"
+        gated = dataclasses.replace(base, fusion=FusionConfig(policy="consistency_gated"))
+        assert gated.fusion_policy == "consistency_gated"
+
+    def test_json_round_trip_with_fusion(self):
+        from repro.perception.fusion import FusionConfig
+
+        base, _ = self._default_configs()
+        config = dataclasses.replace(
+            base, fusion=FusionConfig(policy="consistency_gated", camera_weight=0.4)
+        )
+        rebuilt = CampaignConfig.from_json_dict(config.to_json_dict())
+        assert rebuilt == config
+        assert rebuilt.fusion.policy == "consistency_gated"
+        assert rebuilt.fusion.camera_weight == 0.4
+
+    def test_legacy_manifest_without_fusion_key_round_trips(self):
+        # Manifests written before the refactor have no "fusion" entry.
+        base, _ = self._default_configs()
+        payload = base.to_json_dict()
+        assert payload["fusion"] is None
+        del payload["fusion"]
+        rebuilt = CampaignConfig.from_json_dict(payload)
+        assert rebuilt == base
+        assert rebuilt.fusion is None
+        assert rebuilt.fusion_policy == "late"
+
+
 class TestRunSingleExperiment:
     def test_golden_run_has_no_hazard(self):
         config = CampaignConfig(

@@ -6,7 +6,12 @@ from repro.core.attack_vectors import AttackVector
 from repro.experiments.figures import fig6_panels, fig7_panels, fig8_data
 from repro.experiments.metrics import combined_rates, summarize_campaign
 from repro.experiments.results import CampaignResult, RunResult
-from repro.experiments.tables import headline_findings, table1_rows, table2_rows
+from repro.experiments.tables import (
+    fusion_defense_rows,
+    headline_findings,
+    table1_rows,
+    table2_rows,
+)
 from repro.sim.actors import ActorKind
 
 
@@ -162,6 +167,70 @@ class TestTable2AndHeadlines:
         assert findings["pedestrian_success_rate"] == pytest.approx(1.0)
         assert findings["vehicle_success_rate"] == pytest.approx(0.0)
         assert findings["eb_improvement_ratio"] == float("inf")
+
+
+class TestFusionDefenseTable:
+    def _config(self, scenario_id="DS-2", fusion=None, campaign_id="fd"):
+        from repro.experiments.campaign import AttackerKind, CampaignConfig
+
+        return CampaignConfig(
+            campaign_id=campaign_id,
+            scenario_id=scenario_id,
+            attacker=AttackerKind.ROBOTACK,
+            vector=AttackVector.DISAPPEAR,
+            n_runs=2,
+            fusion=fusion,
+        )
+
+    def test_groups_by_scenario_and_policy(self):
+        from repro.perception.fusion import FusionConfig
+
+        pairs = [
+            (
+                self._config(campaign_id="fd-late"),
+                make_campaign(runs=[make_run(0, accident=True), make_run(1)]),
+            ),
+            (
+                self._config(campaign_id="fd-late-2"),
+                make_campaign(runs=[make_run(0, accident=True)]),
+            ),
+            (
+                self._config(
+                    campaign_id="fd-gated",
+                    fusion=FusionConfig(policy="consistency_gated"),
+                ),
+                make_campaign(runs=[make_run(0), make_run(1)]),
+            ),
+        ]
+        rows = fusion_defense_rows(pairs)
+        assert [(r.scenario_id, r.fusion_policy) for r in rows] == [
+            ("DS-2", "consistency_gated"),
+            ("DS-2", "late"),
+        ]
+        gated, late = rows
+        assert late.n_campaigns == 2
+        assert late.n_runs == 3
+        assert late.attack_success_count == 2
+        assert late.attack_success_rate == pytest.approx(2 / 3)
+        assert gated.attack_success_rate == 0.0
+        assert len(gated.format_row()) == len(late.format_row())
+
+    def test_move_in_success_counts_emergency_braking(self):
+        config = self._config()
+        campaign = make_campaign(
+            vector=AttackVector.MOVE_IN,
+            runs=[
+                make_run(0, vector=AttackVector.MOVE_IN, eb=True),
+                make_run(1, vector=AttackVector.MOVE_IN, eb=False, accident=True),
+            ],
+        )
+        (row,) = fusion_defense_rows([(config, campaign)])
+        # Move_In succeeds via spurious braking, not via the accident flag.
+        assert row.attack_success_count == 1
+        assert row.emergency_braking_rate == pytest.approx(0.5)
+
+    def test_empty_input(self):
+        assert fusion_defense_rows([]) == []
 
 
 class TestFigureGenerators:

@@ -465,3 +465,45 @@ class TestConsumers:
         store = ExperimentStore(tmp_path)
         with pytest.raises(KeyError, match="no manifest stored"):
             store.campaign_results(config_hashes=["0" * 64])
+
+    def test_fusion_defense_table_from_swept_store(self, tmp_path):
+        """A fusion.policy sweep written through a store renders the defense
+        table end to end: each stored campaign lands in its policy cell."""
+        from repro.experiments.campaign import AttackerKind, CampaignConfig, run_campaign
+        from repro.experiments.tables import fusion_defense_from_store
+        from repro.sim.config import SimulationConfig
+        from repro.sim.sweeps import Choice, ParameterSpace, sweep_campaigns
+
+        base = CampaignConfig(
+            campaign_id="fusion-defense",
+            scenario_id="DS-1",
+            attacker=AttackerKind.RANDOM,
+            vector=AttackVector.MOVE_IN,
+            n_runs=2,
+            seed=5,
+            simulation=SimulationConfig(max_duration_s=1.0),
+        )
+        space = ParameterSpace(
+            {"fusion.policy": Choice(("late", "consistency_gated"))}
+        )
+        configs = sweep_campaigns(base, space, sampler="grid")
+        assert [c.fusion_policy for c in configs] == ["late", "consistency_gated"]
+
+        store = ExperimentStore(tmp_path)
+        for config in configs:
+            run_campaign(config, store=store)
+
+        rows = fusion_defense_from_store(store)
+        assert [(r.scenario_id, r.fusion_policy) for r in rows] == [
+            ("DS-1", "consistency_gated"),
+            ("DS-1", "late"),
+        ]
+        for row in rows:
+            assert row.n_campaigns == 1
+            assert row.n_runs == 2
+            assert 0.0 <= row.attack_success_rate <= 1.0
+
+        # The manifests round-trip the fusion config, so a fresh store handle
+        # (a later analysis session) renders the same table.
+        rows_again = fusion_defense_from_store(ExperimentStore(tmp_path))
+        assert rows_again == rows

@@ -4,7 +4,16 @@ import numpy as np
 import pytest
 
 from repro.geometry import Vec2
-from repro.perception.fusion import FusionConfig, SensorFusion
+from repro.perception.fusion import (
+    FUSION_POLICIES,
+    CameraOnlyFusion,
+    ConsistencyGatedFusion,
+    FusionConfig,
+    LidarOnlyFusion,
+    SensorFusion,
+    build_fusion_policy,
+    list_fusion_policies,
+)
 from repro.perception.pipeline import PerceptionConfig, PerceptionSystem
 from repro.perception.transforms import WorldObjectEstimate
 from repro.sensors.camera import CameraSensor
@@ -218,6 +227,168 @@ class TestFusionConfigValidation:
         with pytest.raises(ValueError):
             FusionConfig(association_gate_m=0.0)
 
+    @pytest.mark.parametrize(
+        "field",
+        [
+            "camera_weight",
+            "camera_distance_weight",
+            "lateral_velocity_smoothing",
+            "consistency_camera_penalty",
+        ],
+    )
+    def test_unit_interval_fields_rejected_outside_range(self, field):
+        with pytest.raises(ValueError, match="must be in"):
+            FusionConfig(**{field: -0.1})
+        with pytest.raises(ValueError, match="must be in"):
+            FusionConfig(**{field: 1.01})
+
+    @pytest.mark.parametrize(
+        "field",
+        [
+            "fused_registration_frames",
+            "camera_only_registration_frames",
+            "lidar_only_registration_scans",
+            "camera_only_timeout_frames",
+            "lidar_backed_timeout_frames",
+            "lidar_only_timeout_scans",
+            "lateral_velocity_baseline_frames",
+        ],
+    )
+    def test_count_fields_must_be_positive(self, field):
+        with pytest.raises(ValueError, match="must be positive"):
+            FusionConfig(**{field: 0})
+
+    def test_negative_gate_range_factor_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            FusionConfig(association_gate_range_factor=-0.1)
+
+    def test_non_positive_consistency_gate_rejected(self):
+        with pytest.raises(ValueError, match="must be positive"):
+            FusionConfig(consistency_gate_m=0.0)
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError, match="unknown fusion policy"):
+            FusionConfig(policy="kalman")
+
+    def test_boundary_values_accepted(self):
+        config = FusionConfig(
+            camera_weight=0.0,
+            camera_distance_weight=1.0,
+            lateral_velocity_smoothing=0.0,
+            consistency_camera_penalty=1.0,
+            association_gate_range_factor=0.0,
+        )
+        assert config.camera_weight == 0.0
+
+
+class TestPolicyRegistry:
+    def test_builtin_policies_registered(self):
+        assert list_fusion_policies() == [
+            "camera_only",
+            "consistency_gated",
+            "late",
+            "lidar_only",
+        ]
+        assert "late" in FUSION_POLICIES
+
+    def test_build_fusion_policy_returns_expected_types(self):
+        assert type(build_fusion_policy("late")) is SensorFusion
+        assert type(build_fusion_policy("camera_only")) is CameraOnlyFusion
+        assert type(build_fusion_policy("lidar_only")) is LidarOnlyFusion
+        assert type(build_fusion_policy("consistency_gated")) is ConsistencyGatedFusion
+
+    def test_build_fusion_policy_unknown_name(self):
+        with pytest.raises(Exception, match="unknown fusion policy"):
+            build_fusion_policy("ekf")
+
+
+class TestConsistencyGatedFusion:
+    def _run(self, fusion, camera_lateral, lidar_lateral, steps=6):
+        obstacles = []
+        for step in range(steps):
+            obstacles = fusion.step(
+                [camera_estimate(30.0, camera_lateral)],
+                lidar_scan(step, [lidar_detection(30.0, lidar_lateral)]),
+                10.0,
+                FRAME_DT,
+            )
+        return obstacles
+
+    def test_agreeing_modalities_match_late_fusion(self):
+        config = FusionConfig(policy="consistency_gated")
+        gated = self._run(ConsistencyGatedFusion(config), 0.4, 0.2)
+        late = self._run(SensorFusion(FusionConfig()), 0.4, 0.2)
+        assert gated[0].lateral_m == pytest.approx(late[0].lateral_m)
+        assert gated[0].distance_m == pytest.approx(late[0].distance_m)
+
+    def test_disagreeing_camera_is_down_weighted(self):
+        # Camera claims the object slid 2 m laterally; LiDAR disagrees (still
+        # close enough to associate into one track).  The gated policy should
+        # land much closer to the LiDAR lateral than the plain late fusion.
+        config = FusionConfig(policy="consistency_gated", consistency_gate_m=1.2)
+        gated = self._run(ConsistencyGatedFusion(config), 2.0, 0.0)
+        late = self._run(SensorFusion(FusionConfig()), 2.0, 0.0)
+        assert abs(gated[0].lateral_m) < abs(late[0].lateral_m)
+        assert abs(gated[0].lateral_m) < 0.5 * abs(late[0].lateral_m)
+
+
+class TestCameraOnlyFusion:
+    def test_passes_camera_estimates_through(self):
+        fusion = CameraOnlyFusion()
+        obstacles = fusion.step(
+            [camera_estimate(40.0, -1.5, v_rel=-3.0)], None, ego_speed_mps=10.0, frame_dt_s=FRAME_DT
+        )
+        assert len(obstacles) == 1
+        assert obstacles[0].sources == ("camera",)
+        assert obstacles[0].distance_m == pytest.approx(40.0)
+        assert obstacles[0].lateral_m == pytest.approx(-1.5)
+        assert obstacles[0].longitudinal_speed_mps == pytest.approx(7.0)
+
+    def test_ignores_lidar_scan(self):
+        fusion = CameraOnlyFusion()
+        obstacles = fusion.step(
+            [], lidar_scan(0, [lidar_detection(20.0, 0.0)]), 10.0, FRAME_DT
+        )
+        assert obstacles == []
+
+
+class TestLidarOnlyFusion:
+    def test_registers_from_lidar_alone(self):
+        config = FusionConfig(policy="lidar_only")
+        fusion = LidarOnlyFusion(config)
+        obstacles = []
+        for step in range(config.fused_registration_frames + 2):
+            obstacles = fusion.step(
+                [], lidar_scan(step, [lidar_detection(25.0, 0.5)]), 10.0, FRAME_DT
+            )
+        assert len(obstacles) == 1
+        assert obstacles[0].sources == ("lidar",)
+        assert obstacles[0].distance_m == pytest.approx(25.0)
+
+    def test_ignores_camera_estimates(self):
+        fusion = LidarOnlyFusion()
+        obstacles = []
+        for _ in range(12):
+            obstacles = fusion.step([camera_estimate(30.0, 0.0)], None, 10.0, FRAME_DT)
+        assert obstacles == []
+
+    def test_track_dropped_after_timeout(self):
+        config = FusionConfig(policy="lidar_only", lidar_only_timeout_scans=4)
+        fusion = LidarOnlyFusion(config)
+        for step in range(6):
+            fusion.step([], lidar_scan(step, [lidar_detection(25.0, 0.0)]), 10.0, FRAME_DT)
+        obstacles = []
+        for step in range(6, 6 + config.lidar_only_timeout_scans + 2):
+            obstacles = fusion.step([], lidar_scan(step, []), 10.0, FRAME_DT)
+        assert obstacles == []
+
+    def test_reset_clears_tracks(self):
+        fusion = LidarOnlyFusion()
+        for step in range(8):
+            fusion.step([], lidar_scan(step, [lidar_detection(25.0, 0.0)]), 10.0, FRAME_DT)
+        fusion.reset()
+        assert fusion.step([], None, 10.0, FRAME_DT) == []
+
 
 class TestPerceptionSystem:
     def test_full_pipeline_detects_lead_vehicle(self):
@@ -236,10 +407,11 @@ class TestPerceptionSystem:
         assert lead.distance_m == pytest.approx(58.0, abs=6.0)
         assert abs(lead.lateral_m) < 1.0
 
-    def test_camera_only_mode_has_no_lidar_fusion(self):
+    def test_camera_only_mode_uses_camera_only_policy(self):
         config = PerceptionConfig(use_lidar=False)
+        assert config.fusion_policy == "camera_only"
         system = PerceptionSystem(config, rng=np.random.default_rng(2))
-        assert system.fusion is None
+        assert type(system.fusion) is CameraOnlyFusion
         scenario = build_scenario("DS-1", ScenarioVariation.nominal())
         camera = CameraSensor()
         output = None
@@ -249,6 +421,32 @@ class TestPerceptionSystem:
             scenario.world.step(FRAME_DT, 0.0)
         assert output.obstacles
         assert output.obstacles[0].sources == ("camera",)
+
+    def test_use_lidar_false_identical_to_camera_only_policy(self):
+        # The deprecated ``use_lidar=False`` flag is an alias for the
+        # ``camera_only`` policy — same code path, identical outputs.
+        legacy = PerceptionSystem(
+            PerceptionConfig(use_lidar=False), rng=np.random.default_rng(7)
+        )
+        policy = PerceptionSystem(
+            PerceptionConfig(fusion=FusionConfig(policy="camera_only")),
+            rng=np.random.default_rng(7),
+        )
+        scenario = build_scenario("DS-2", ScenarioVariation.nominal())
+        camera = CameraSensor()
+        for _ in range(20):
+            snapshot = scenario.world.snapshot()
+            legacy_out = legacy.process(camera.capture(snapshot), None, 12.5)
+            policy_out = policy.process(camera.capture(snapshot), None, 12.5)
+            assert legacy_out.obstacles == policy_out.obstacles
+            scenario.world.step(FRAME_DT, 0.0)
+
+    def test_perception_config_resolves_policy_from_fusion(self):
+        assert PerceptionConfig().fusion_policy == "late"
+        config = PerceptionConfig(fusion=FusionConfig(policy="lidar_only"))
+        assert config.fusion_policy == "lidar_only"
+        system = PerceptionSystem(config, rng=np.random.default_rng(8))
+        assert type(system.fusion) is LidarOnlyFusion
 
     def test_output_lookup_helpers(self):
         scenario = build_scenario("DS-1", ScenarioVariation.nominal())

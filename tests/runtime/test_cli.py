@@ -192,6 +192,114 @@ class TestSweepCli:
         assert "Sweep of 7 points" in capsys.readouterr().out
 
 
+class TestFusionCli:
+    def test_run_with_fusion_records_policy_in_manifest(self, tmp_path, capsys):
+        code = main(
+            [
+                "--scenario", "DS-1", "--attacker", "none", "--runs", "1",
+                "--seed", "3", "--fusion", "lidar_only", "--store", str(tmp_path),
+            ]
+        )
+        assert code == 0
+        capsys.readouterr()
+        from repro.experiments.store import ExperimentStore
+
+        ((_, config),) = ExperimentStore(tmp_path).manifests().items()
+        assert config.fusion_policy == "lidar_only"
+
+    def test_fusion_composes_with_batch_engine(self, capsys):
+        code = main(
+            [
+                "--scenario", "DS-1", "--attacker", "none", "--runs", "2",
+                "--seed", "3", "--fusion", "consistency_gated", "--engine", "batch",
+            ]
+        )
+        assert code == 0
+        assert "DS-1" in capsys.readouterr().out
+
+    def test_unknown_fusion_policy_exits_with_error(self):
+        with pytest.raises(SystemExit, match="unknown fusion policy"):
+            main(
+                ["--scenario", "DS-1", "--attacker", "none", "--runs", "1",
+                 "--fusion", "ekf"]
+            )
+
+    def test_sweep_over_fusion_axes_dry_run(self, capsys):
+        code = main(
+            [
+                "sweep", "--scenario", "DS-1", "--store", "/unused", "--dry-run",
+                "--sampler", "grid",
+                "--param", "fusion.policy=late,lidar_only,consistency_gated",
+                "--param", "fusion.camera_weight=0.4:0.8:3",
+            ]
+        )
+        assert code == 0
+        assert "Sweep of 9 points" in capsys.readouterr().out
+
+    def test_sweep_fusion_flag_sets_base_policy(self, tmp_path, capsys):
+        code = main(
+            [
+                "sweep", "--scenario", "DS-1", "--store", str(tmp_path),
+                "--sampler", "random", "--n", "2", "--runs", "1",
+                "--fusion", "camera_only",
+                "--param", "simulation.max_duration_s=1.0",
+            ]
+        )
+        assert code == 0
+        capsys.readouterr()
+        from repro.experiments.store import ExperimentStore
+
+        manifests = ExperimentStore(tmp_path).manifests()
+        assert len(manifests) == 2
+        assert all(c.fusion_policy == "camera_only" for c in manifests.values())
+
+    def test_sweep_unknown_fusion_exits_with_error(self):
+        with pytest.raises(SystemExit, match="unknown fusion policy"):
+            main(
+                ["sweep", "--scenario", "DS-1", "--store", "/unused",
+                 "--dry-run", "--fusion", "ekf"]
+            )
+
+    def test_resume_fusion_filter(self, tmp_path, capsys):
+        from repro.experiments.campaign import (
+            AttackerKind,
+            CampaignConfig,
+            run_campaign,
+        )
+        from repro.experiments.store import ExperimentStore
+        from repro.perception.fusion import FusionConfig
+        from repro.runtime import FaultInjectingExecutor, InjectedFault
+        from repro.sim.config import SimulationConfig
+
+        config = CampaignConfig(
+            campaign_id="cli-resume-fusion",
+            scenario_id="DS-1",
+            attacker=AttackerKind.NONE,
+            n_runs=2,
+            seed=21,
+            simulation=SimulationConfig(max_duration_s=1.0),
+            fusion=FusionConfig(policy="lidar_only"),
+        )
+        store = ExperimentStore(tmp_path)
+        with pytest.raises(InjectedFault):
+            run_campaign(config, store=store, executor=FaultInjectingExecutor(1))
+
+        # A filter on a different policy matches nothing and resumes nothing.
+        code = main(["resume", "--store", str(tmp_path), "--fusion", "camera_only"])
+        assert code == 0
+        assert "runs the 'camera_only' fusion policy" in capsys.readouterr().out
+        assert store.incomplete_campaigns() != []
+
+        code = main(["resume", "--store", str(tmp_path), "--fusion", "lidar_only"])
+        assert code == 0
+        assert "Resuming cli-resume-fusion" in capsys.readouterr().out
+        assert store.incomplete_campaigns() == []
+
+    def test_resume_unknown_fusion_exits_with_error(self, tmp_path):
+        with pytest.raises(SystemExit, match="unknown fusion policy"):
+            main(["resume", "--store", str(tmp_path), "--fusion", "ekf"])
+
+
 class TestTrainCli:
     _ARGS = [
         "train", "--scenario", "DS-2", "--vector", "disappear",

@@ -26,6 +26,7 @@ from repro.experiments.campaign import (
     build_ads_agent,
 )
 from repro.geometry import Vec2
+from repro.perception.fusion import FusionConfig, SensorFusion, list_fusion_policies
 from repro.perception.pipeline import PerceptionConfig
 from repro.sim.batch import BatchRunSpec, BatchSimulator
 from repro.sim.events import EventKind
@@ -38,13 +39,13 @@ _SIM_SEED = 2
 _ATTACK_SEED = 7
 
 
-def _benign_setup(scenario_id):
+def _benign_setup(scenario_id, fusion=None):
     scenario = build_scenario(scenario_id)
-    ads = build_ads_agent(scenario, np.random.default_rng(_ADS_SEED))
+    ads = build_ads_agent(scenario, np.random.default_rng(_ADS_SEED), fusion=fusion)
     return scenario, ads, None, np.random.default_rng(_SIM_SEED)
 
 
-def _attacked_setup(scenario_id):
+def _attacked_setup(scenario_id, fusion=None):
     """The campaign layer's exact seeding chain, with the random attacker."""
     config = CampaignConfig(
         campaign_id=f"eq-{scenario_id}",
@@ -56,7 +57,9 @@ def _attacked_setup(scenario_id):
     )
     rng = np.random.default_rng(_ATTACK_SEED)
     scenario = build_scenario(scenario_id)
-    ads = build_ads_agent(scenario, np.random.default_rng(int(rng.integers(0, 2**31 - 1))))
+    ads = build_ads_agent(
+        scenario, np.random.default_rng(int(rng.integers(0, 2**31 - 1))), fusion=fusion
+    )
     attacker = _build_attacker(
         config, scenario, np.random.default_rng(int(rng.integers(0, 2**31 - 1)))
     )
@@ -123,17 +126,65 @@ class TestScalarBatchEquivalence:
         with pytest.raises(ValueError, match="at least one run spec"):
             BatchSimulator([])
 
-    def test_camera_only_agent_is_rejected(self):
-        """The batch engine ports the fused pipeline only; a camera-only agent
-        must fail loudly instead of silently diverging from the scalar path."""
+    @pytest.mark.parametrize("scenario_id", list_scenario_ids())
+    @pytest.mark.parametrize("policy", [p for p in list_fusion_policies() if p != "late"])
+    def test_non_default_policies_match_scalar(self, scenario_id, policy):
+        """Every non-default fusion policy is bit-identical scalar vs batch
+        (the default ``late`` policy is covered by every other test here)."""
+        fusion = FusionConfig(policy=policy)
+        scenario, ads, attacker, rng = _benign_setup(scenario_id, fusion=fusion)
+        scalar = Simulator(scenario, ads, attacker=attacker, rng=rng).run()
+        scenario, ads, attacker, rng = _benign_setup(scenario_id, fusion=fusion)
+        batch = BatchSimulator(
+            [BatchRunSpec(scenario=scenario, ads=ads, attacker=attacker, rng=rng)]
+        ).run()[0]
+        _assert_bit_identical(scalar, batch)
+
+    @pytest.mark.parametrize("policy", [p for p in list_fusion_policies() if p != "late"])
+    def test_non_default_policies_match_scalar_under_attack(self, policy):
+        """Same gate with the random attacker in the loop (DS-2 hosts the
+        pedestrian variant of the perception stack)."""
+        fusion = FusionConfig(policy=policy)
+        scenario, ads, attacker, rng = _attacked_setup("DS-2", fusion=fusion)
+        scalar = Simulator(scenario, ads, attacker=attacker, rng=rng).run()
+        scenario, ads, attacker, rng = _attacked_setup("DS-2", fusion=fusion)
+        batch = BatchSimulator(
+            [BatchRunSpec(scenario=scenario, ads=ads, attacker=attacker, rng=rng)]
+        ).run()[0]
+        _assert_bit_identical(scalar, batch)
+
+    def test_camera_only_agent_is_supported(self):
+        """A ``use_lidar=False`` agent resolves to the camera_only policy and
+        runs bit-identically on the batch engine (it used to be rejected)."""
+        def setup():
+            scenario = build_scenario("DS-1")
+            ads = AdsAgent(
+                road=scenario.road,
+                planner_config=PlannerConfig(cruise_speed_mps=scenario.cruise_speed_mps),
+                perception_config=PerceptionConfig(use_lidar=False),
+                rng=np.random.default_rng(_ADS_SEED),
+            )
+            return scenario, ads, np.random.default_rng(_SIM_SEED)
+
+        scenario, ads, rng = setup()
+        scalar = Simulator(scenario, ads, rng=rng).run()
+        scenario, ads, rng = setup()
+        batch = BatchSimulator([BatchRunSpec(scenario=scenario, ads=ads, rng=rng)]).run()[0]
+        _assert_bit_identical(scalar, batch)
+
+    def test_custom_fusion_policy_is_rejected(self):
+        """The batch engine has plain-float ports of the built-in fusion
+        policies only; a third-party policy (here: a SensorFusion subclass it
+        has no port for) must fail loudly instead of silently running the
+        base-class port and diverging from the scalar path."""
+
+        class CustomFusion(SensorFusion):
+            pass
+
         scenario = build_scenario("DS-1")
-        ads = AdsAgent(
-            road=scenario.road,
-            planner_config=PlannerConfig(cruise_speed_mps=scenario.cruise_speed_mps),
-            perception_config=PerceptionConfig(use_lidar=False),
-            rng=np.random.default_rng(_ADS_SEED),
-        )
-        with pytest.raises(ValueError, match="fused"):
+        ads = build_ads_agent(scenario, np.random.default_rng(_ADS_SEED))
+        ads.perception.fusion = CustomFusion()
+        with pytest.raises(ValueError, match="built-in"):
             BatchSimulator([BatchRunSpec(scenario=scenario, ads=ads)])
 
     def test_spawn_overlap_halts_batch_lane_at_step_zero(self):

@@ -205,3 +205,60 @@ class TestExpansion:
         assert config.n_runs == 7
         assert config.scenario_id == base.scenario_id
         assert dataclasses.asdict(config.simulation) == dataclasses.asdict(base.simulation)
+
+
+class TestFusionNamespace:
+    def test_parse_axis_accepts_fusion_fields(self):
+        path, spec = parse_axis("fusion.policy=late,lidar_only")
+        assert path == "fusion.policy"
+        assert spec == Choice(("late", "lidar_only"))
+        path, spec = parse_axis("fusion.camera_weight=0.4:0.8:3")
+        assert spec == Uniform(0.4, 0.8, grid_points=3)
+        with pytest.raises(ValueError, match="unknown field"):
+            parse_axis("fusion.bogus=0:1")
+
+    def test_expand_builds_fusion_config(self):
+        from repro.perception.fusion import FusionConfig
+
+        configs = expand_campaigns(
+            _base(),
+            [
+                {"fusion.policy": "consistency_gated", "fusion.camera_weight": 0.5},
+                {"variation.ego_speed_scale": 1.0},
+            ],
+        )
+        assert configs[0].fusion == FusionConfig(policy="consistency_gated", camera_weight=0.5)
+        # Un-swept points keep fusion=None — and thus the pre-refactor hash.
+        assert configs[1].fusion is None
+
+    def test_expand_starts_from_base_fusion_when_set(self):
+        from repro.perception.fusion import FusionConfig
+
+        base = _base(fusion=FusionConfig(policy="consistency_gated", consistency_gate_m=0.9))
+        (config,) = expand_campaigns(base, [{"fusion.camera_weight": 0.3}])
+        assert config.fusion.policy == "consistency_gated"
+        assert config.fusion.consistency_gate_m == 0.9
+        assert config.fusion.camera_weight == 0.3
+
+    def test_invalid_fusion_values_rejected_at_expansion(self):
+        with pytest.raises(ValueError, match="unknown fusion policy"):
+            expand_campaigns(_base(), [{"fusion.policy": "ekf"}])
+        with pytest.raises(ValueError, match="must be in"):
+            expand_campaigns(_base(), [{"fusion.camera_weight": 1.5}])
+
+    def test_grid_sweep_over_policy_and_numeric_axes(self):
+        space = ParameterSpace(
+            {
+                "fusion.policy": Choice(("late", "lidar_only", "consistency_gated")),
+                "fusion.camera_weight": Uniform(0.4, 0.8, grid_points=3),
+                "fusion.consistency_camera_penalty": Uniform(0.1, 0.5, grid_points=2),
+            }
+        )
+        configs = sweep_campaigns(_base(), space, sampler="grid")
+        assert len(configs) == 18
+        assert {c.fusion.policy for c in configs} == {
+            "late",
+            "lidar_only",
+            "consistency_gated",
+        }
+        assert len({config_hash(c) for c in configs}) == 18
