@@ -5,9 +5,31 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Sequence
 
+from repro.core.attack_vectors import AttackVector
 from repro.experiments.results import CampaignResult
 
-__all__ = ["CampaignSummary", "summarize_campaign", "combined_rates"]
+__all__ = [
+    "CampaignSummary",
+    "attack_succeeded",
+    "summarize_campaign",
+    "combined_rates",
+]
+
+
+def attack_succeeded(run) -> bool:
+    """Whether a run produced the hazard its attack vector aims for.
+
+    The paper's §VI-C success rule: the Move_In vector aims for spurious
+    emergency braking, every other vector (and the vectorless baselines) for
+    an accident.  ``run`` is anything exposing ``vector`` /
+    ``emergency_braking`` / ``accident`` — a :class:`RunResult`, a stored
+    :class:`~repro.experiments.store.RunOutcome`, etc.  This single rule is
+    shared by the defense tables and the falsification objectives, so "attack
+    success" means the same thing in every report.
+    """
+    if run.vector is AttackVector.MOVE_IN:
+        return bool(run.emergency_braking)
+    return bool(run.accident)
 
 
 @dataclass(frozen=True)

@@ -34,6 +34,8 @@ Store layout::
       datasets/<collection_hash>.jsonl  # one line per collected training grid point
       models/<model_hash>/              # a persisted predictor + registry.json
       models/index/<spec_hash>.json     # training-spec hash -> model hash
+      searches/<search_hash>/           # falsification-search manifest,
+                                        #   state.json checkpoint, iterations.jsonl
 
 The *dataset* records are the second record kind: the safety-hijacker
 training pipeline streams each ``(delta_inject, k)`` grid point's collected
@@ -92,6 +94,9 @@ if TYPE_CHECKING:  # pragma: no cover - type hints only (campaign imports us)
 
 __all__ = [
     "RunRecord",
+    "RunOutcome",
+    "OutcomeSummary",
+    "AggregateBatch",
     "ExperimentStore",
     "config_hash",
     "records_equal",
@@ -238,6 +243,129 @@ def records_equal(left: RunRecord, right: RunRecord) -> bool:
     return True
 
 
+@dataclass(frozen=True)
+class RunOutcome:
+    """The outcome scalars of one stored run — the aggregation fast path.
+
+    A :class:`RunRecord` parse reconstructs the full variation, result, and
+    event payload; an outcome keeps only the fields the search loop and the
+    summary tables consume, so scanning thousands of JSONL lines per search
+    iteration stays cheap.
+    """
+
+    run_index: int
+    campaign_id: str
+    vector: Optional[AttackVector]
+    attack_launched: bool
+    emergency_braking: bool
+    accident: bool
+    collision: bool
+    #: The shared §VI-C rule (Move_In → spurious braking, else accident).
+    success: bool
+    duration_s: float
+    min_true_delta_m: float
+
+    @staticmethod
+    def from_json_dict(payload: Dict[str, object]) -> "RunOutcome":
+        from repro.experiments.metrics import attack_succeeded
+
+        result = payload["result"]
+        vector_name = result["vector"]  # type: ignore[index]
+        vector = AttackVector[str(vector_name)] if vector_name else None
+        outcome = RunOutcome(
+            run_index=int(payload["run_index"]),
+            campaign_id=str(payload["campaign_id"]),
+            vector=vector,
+            attack_launched=bool(result["attack_launched"]),  # type: ignore[index]
+            emergency_braking=bool(result["emergency_braking"]),  # type: ignore[index]
+            accident=bool(result["accident"]),  # type: ignore[index]
+            collision=bool(result["collision"]),  # type: ignore[index]
+            success=False,
+            duration_s=float(payload["duration_s"]),
+            min_true_delta_m=float(result["min_true_delta_m"]),  # type: ignore[index]
+        )
+        return dataclasses.replace(outcome, success=attack_succeeded(outcome))
+
+
+@dataclass(frozen=True)
+class OutcomeSummary:
+    """Aggregate outcome statistics of one campaign's stored runs."""
+
+    config_hash: str
+    campaign_id: str
+    n_runs: int
+    launched: int
+    emergency_braking: int
+    accidents: int
+    collisions: int
+    successes: int
+    #: Sum of ``duration_s`` over the successful runs (time-to-violation mass).
+    sum_success_time_s: float
+    #: Count / sum over runs whose min ground-truth δ is finite.
+    finite_delta_runs: int
+    sum_min_delta_m: float
+    min_min_delta_m: float
+
+    @property
+    def success_rate(self) -> float:
+        return self.successes / self.n_runs if self.n_runs else 0.0
+
+    @staticmethod
+    def from_outcomes(
+        config_hash_: str, outcomes: Sequence[RunOutcome]
+    ) -> "OutcomeSummary":
+        finite = [o.min_true_delta_m for o in outcomes if np.isfinite(o.min_true_delta_m)]
+        return OutcomeSummary(
+            config_hash=config_hash_,
+            campaign_id=outcomes[0].campaign_id if outcomes else "",
+            n_runs=len(outcomes),
+            launched=sum(o.attack_launched for o in outcomes),
+            emergency_braking=sum(o.emergency_braking for o in outcomes),
+            accidents=sum(o.accident for o in outcomes),
+            collisions=sum(o.collision for o in outcomes),
+            successes=sum(o.success for o in outcomes),
+            sum_success_time_s=float(sum(o.duration_s for o in outcomes if o.success)),
+            finite_delta_runs=len(finite),
+            sum_min_delta_m=float(sum(finite)),
+            min_min_delta_m=float(min(finite)) if finite else float("nan"),
+        )
+
+
+@dataclass
+class AggregateBatch:
+    """The result of one :meth:`ExperimentStore.aggregate` scan.
+
+    ``outcomes`` maps config hash -> {run_index -> :class:`RunOutcome`}
+    (last write wins, like :meth:`ExperimentStore.load_records`);
+    ``cursor`` maps config hash -> the byte offset up to which the JSONL log
+    has been consumed.  Feed the cursor back as ``since`` on the next call to
+    read only lines appended in between — the incremental path that keeps a
+    long falsification search from re-scanning every line per iteration.
+    Merging a later batch into an earlier one is ``merge`` (per-run
+    last-write-wins, cursor advanced).
+    """
+
+    outcomes: Dict[str, Dict[int, RunOutcome]]
+    cursor: Dict[str, int]
+
+    def merge(self, newer: "AggregateBatch") -> None:
+        """Fold a later incremental batch into this one in place."""
+        for config_hash_, by_index in newer.outcomes.items():
+            self.outcomes.setdefault(config_hash_, {}).update(by_index)
+        self.cursor.update(newer.cursor)
+
+    def summary(self, config_hash_: str) -> OutcomeSummary:
+        """Summarize one campaign's accumulated outcomes."""
+        by_index = self.outcomes.get(config_hash_, {})
+        return OutcomeSummary.from_outcomes(
+            config_hash_, [by_index[index] for index in sorted(by_index)]
+        )
+
+    def summaries(self) -> Dict[str, OutcomeSummary]:
+        """Per-campaign summaries over every hash this batch has seen."""
+        return {config_hash_: self.summary(config_hash_) for config_hash_ in self.outcomes}
+
+
 class ExperimentStore:
     """A durable run store rooted at a directory (see module docstring).
 
@@ -277,6 +405,19 @@ class ExperimentStore:
 
     def _model_index_path(self, spec_hash_: str) -> Path:
         return self.root / "models" / "index" / f"{spec_hash_}.json"
+
+    def search_dir(self, search_hash_: str) -> Path:
+        """The directory of a falsification search (may not exist yet)."""
+        return self.root / "searches" / search_hash_
+
+    def _search_manifest_path(self, search_hash_: str) -> Path:
+        return self.search_dir(search_hash_) / "manifest.json"
+
+    def _search_state_path(self, search_hash_: str) -> Path:
+        return self.search_dir(search_hash_) / "state.json"
+
+    def _search_iterations_path(self, search_hash_: str) -> Path:
+        return self.search_dir(search_hash_) / "iterations.jsonl"
 
     # ------------------------------------------------------------------ #
     # Append path
@@ -644,8 +785,157 @@ class ExperimentStore:
         )
 
     # ------------------------------------------------------------------ #
+    # Search records — falsification-loop checkpoints and reports
+    # ------------------------------------------------------------------ #
+
+    def write_search_manifest(self, search_hash_: str, payload: Dict[str, object]) -> None:
+        """Record a search's specification (idempotent, content-addressed).
+
+        The manifest is what makes ``repro-campaign search`` auto-resume
+        possible: the same spec hashes to the same directory, so a restarted
+        search finds its own checkpoint without re-specifying anything.
+        """
+        path = self._search_manifest_path(search_hash_)
+        if path.exists():
+            return
+        document = {"schema": SCHEMA_VERSION, "search_hash": search_hash_, **payload}
+        atomic_publish(
+            path,
+            lambda handle: handle.write(json.dumps(document, indent=2).encode("utf-8")),
+            durable=True,
+        )
+
+    def load_search_manifest(self, search_hash_: str) -> Dict[str, object]:
+        """The specification document of a stored search."""
+        with self._search_manifest_path(search_hash_).open("r", encoding="utf-8") as handle:
+            return json.load(handle)
+
+    def save_search_state(self, search_hash_: str, payload: Dict[str, object]) -> None:
+        """Atomically checkpoint a search's sampler/loop state (last write wins).
+
+        Same durability discipline as the model registry: temp file + fsynced
+        rename, so a SIGKILL mid-write leaves the previous checkpoint intact,
+        never a torn one.
+        """
+        document = {"schema": SCHEMA_VERSION, "search_hash": search_hash_, **payload}
+        atomic_publish(
+            self._search_state_path(search_hash_),
+            lambda handle: handle.write(json.dumps(document, indent=2).encode("utf-8")),
+            durable=True,
+        )
+
+    def load_search_state(self, search_hash_: str) -> Optional[Dict[str, object]]:
+        """The latest checkpoint of a search, or ``None`` if never saved."""
+        path = self._search_state_path(search_hash_)
+        if not path.exists():
+            return None
+        with path.open("r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+        schema = int(payload.get("schema", 0))
+        if schema > SCHEMA_VERSION:
+            raise ValueError(
+                f"search state written by a newer schema ({schema} > {SCHEMA_VERSION})"
+            )
+        return payload
+
+    def append_search_iteration(
+        self, search_hash_: str, payload: Dict[str, object]
+    ) -> None:
+        """Durably record one completed search iteration (multi-process safe)."""
+        document = {"schema": SCHEMA_VERSION, **payload}
+        self._append_jsonl(self._search_iterations_path(search_hash_), document)
+
+    def load_search_iterations(self, search_hash_: str) -> List[Dict[str, object]]:
+        """All recorded iterations of a search, sorted (last write wins)."""
+        by_index = self._scan_jsonl(self._search_iterations_path(search_hash_), "iteration")
+        return [by_index[index] for index in sorted(by_index)]
+
+    def search_hashes(self) -> List[str]:
+        """Every search recorded in the store (manifest present)."""
+        directory = self.root / "searches"
+        if not directory.exists():
+            return []
+        return sorted(
+            path.name
+            for path in directory.iterdir()
+            if path.is_dir() and (path / "manifest.json").exists()
+        )
+
+    # ------------------------------------------------------------------ #
     # Aggregation — what results/tables/figures consume
     # ------------------------------------------------------------------ #
+
+    def aggregate(
+        self,
+        config_hashes: Optional[Sequence[str]] = None,
+        since: Optional[Dict[str, int]] = None,
+    ) -> AggregateBatch:
+        """Scan run outcomes incrementally, filtered to a config-hash set.
+
+        ``config_hashes`` restricts the scan to those campaigns (the search
+        loop passes exactly the hashes of the iteration it just executed);
+        ``None`` scans every log in the store.  ``since`` maps config hash ->
+        byte offset already consumed (the ``cursor`` of a previous batch):
+        only complete lines appended past the offset are parsed, so polling a
+        growing store costs the new bytes, not a full re-read.  A torn tail
+        line (a writer crashed or is mid-append) is *not* consumed — its
+        offset stays before the tear, and the next call picks the line up
+        once its newline lands.
+        """
+        runs_dir = self.root / "runs"
+        if config_hashes is None:
+            hashes = (
+                sorted(path.stem for path in runs_dir.glob("*.jsonl"))
+                if runs_dir.exists()
+                else []
+            )
+        else:
+            hashes = list(config_hashes)
+        since = since or {}
+        outcomes: Dict[str, Dict[int, RunOutcome]] = {}
+        cursor: Dict[str, int] = {}
+        for config_hash_ in hashes:
+            payloads, offset = self._scan_outcome_lines(
+                self._runs_path(config_hash_), since.get(config_hash_, 0)
+            )
+            by_index = outcomes.setdefault(config_hash_, {})
+            for payload in payloads:
+                outcome = RunOutcome.from_json_dict(payload)
+                by_index[outcome.run_index] = outcome
+            cursor[config_hash_] = offset
+        return AggregateBatch(outcomes=outcomes, cursor=cursor)
+
+    @staticmethod
+    def _scan_outcome_lines(
+        path: Path, offset: int
+    ) -> Tuple[List[Dict[str, object]], int]:
+        """Parse complete JSONL lines from ``offset``; return the new offset.
+
+        The returned offset always sits just past the last byte consumed, and
+        only newline-terminated lines are consumed — a torn tail is left for
+        the next scan rather than being half-parsed (or skipped forever).
+        """
+        if not path.exists():
+            return [], offset
+        payloads: List[Dict[str, object]] = []
+        with path.open("rb") as handle:
+            handle.seek(offset)
+            chunk = handle.read()
+        end = chunk.rfind(b"\n")
+        if end < 0:
+            return [], offset
+        for raw in chunk[: end + 1].splitlines():
+            line = raw.strip()
+            if not line:
+                continue
+            try:
+                payloads.append(json.loads(line.decode("utf-8")))
+            except (json.JSONDecodeError, UnicodeDecodeError):
+                # An interior torn line (a writer crashed mid-append before a
+                # later writer healed the log with a fresh newline) carries no
+                # recoverable record; skip it like _scan_jsonl does.
+                continue
+        return payloads, offset + end + 1
 
     def campaign_result(
         self, config: "CampaignConfig", allow_partial: bool = False

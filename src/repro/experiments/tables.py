@@ -10,6 +10,9 @@
   defense-evaluation table beyond the paper: attack-success rate per
   (scenario, fusion policy) cell, comparing how each fusion-policy victim
   variant degrades the attack (the ROADMAP's fusion-defense workload).
+* :func:`search_report_rows` / :func:`search_report_from_store` render a
+  falsification search's per-iteration trajectory (best score, elite
+  threshold, budget spent) from its durable ``iterations.jsonl`` record.
 """
 
 from __future__ import annotations
@@ -20,7 +23,12 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from repro.core.attack_vectors import AttackVector
 from repro.core.scenario_matcher import ScenarioMatcher
 from repro.experiments.campaign import CampaignConfig, run_campaigns
-from repro.experiments.metrics import CampaignSummary, combined_rates, summarize_campaign
+from repro.experiments.metrics import (
+    CampaignSummary,
+    attack_succeeded,
+    combined_rates,
+    summarize_campaign,
+)
 from repro.experiments.results import CampaignResult, RunResult
 from repro.experiments.store import ExperimentStore
 from repro.perception.transforms import WorldObjectEstimate
@@ -38,6 +46,9 @@ __all__ = [
     "table2_from_store",
     "fusion_defense_rows",
     "fusion_defense_from_store",
+    "SearchReportRow",
+    "search_report_rows",
+    "search_report_from_store",
     "headline_findings",
 ]
 
@@ -190,12 +201,8 @@ class FusionDefenseRow:
         )
 
 
-def _attack_succeeded(run: RunResult) -> bool:
-    # Same success rule as headline_findings: the Move_In vector aims for
-    # spurious emergency braking, every other vector for an accident.
-    if run.vector is AttackVector.MOVE_IN:
-        return bool(run.emergency_braking)
-    return bool(run.accident)
+# The per-run success rule lives in repro.experiments.metrics.attack_succeeded
+# (shared with the falsification objectives).
 
 
 def fusion_defense_rows(
@@ -220,7 +227,7 @@ def fusion_defense_rows(
     for scenario_id, policy in sorted(groups):
         runs = groups[(scenario_id, policy)]
         n_runs = len(runs)
-        successes = sum(_attack_succeeded(run) for run in runs)
+        successes = sum(attack_succeeded(run) for run in runs)
         braking = sum(bool(run.emergency_braking) for run in runs)
         rows.append(
             FusionDefenseRow(
@@ -252,6 +259,72 @@ def fusion_defense_from_store(
         for _, config in sorted(store.manifests().items())
     ]
     return fusion_defense_rows(pairs)
+
+
+@dataclass(frozen=True)
+class SearchReportRow:
+    """One iteration of a falsification search, as recorded in the store."""
+
+    iteration: int
+    sampler: str
+    objective: str
+    n_points: int
+    n_runs: int
+    runs_spent_after: int
+    elite_threshold: float
+    best_score: float
+    best_score_so_far: float
+    reached_target: bool
+    best_assignment: Dict[str, object]
+
+    def format_row(self) -> str:
+        """A fixed-width text rendering (one line of the printed table)."""
+        marker = " *" if self.reached_target else ""
+        return (
+            f"{self.iteration:>4d} {self.n_points:>6d} {self.runs_spent_after:>10d} "
+            f"{self.elite_threshold:>8.3f} {self.best_score:>8.3f} "
+            f"{self.best_score_so_far:>8.3f}{marker}"
+        )
+
+
+def search_report_rows(records: Sequence[Dict[str, object]]) -> List[SearchReportRow]:
+    """Turn a search's iteration records into report rows.
+
+    ``records`` is what :meth:`ExperimentStore.load_search_iterations`
+    returns — already iteration-sorted and deduplicated (last write wins), so
+    a search that replayed an iteration after a crash still yields one row
+    per iteration.
+    """
+    rows: List[SearchReportRow] = []
+    for record in records:
+        points = record.get("points", [])
+        best_assignment: Dict[str, object] = {}
+        if points:
+            best_point = max(points, key=lambda p: (p["score"], -p["point_index"]))
+            best_assignment = dict(best_point["assignment"])
+        rows.append(
+            SearchReportRow(
+                iteration=int(record["iteration"]),
+                sampler=str(record["sampler"]),
+                objective=str(record["objective"]),
+                n_points=int(record["n_points"]),
+                n_runs=int(record["n_runs"]),
+                runs_spent_after=int(record["runs_spent_after"]),
+                elite_threshold=float(record["elite_threshold"]),
+                best_score=float(record["best_score"]),
+                best_score_so_far=float(record["best_score_so_far"]),
+                reached_target=bool(record["reached_target"]),
+                best_assignment=best_assignment,
+            )
+        )
+    return rows
+
+
+def search_report_from_store(
+    store: ExperimentStore, search_hash: str
+) -> List[SearchReportRow]:
+    """Build the search-report table for one stored search, by its hash."""
+    return search_report_rows(store.load_search_iterations(search_hash))
 
 
 def headline_findings(
@@ -287,14 +360,8 @@ def headline_findings(
             return 0.0
         # A run counts as a success when it produced the hazard the vector
         # aims for: an accident for Move_Out/Disappear, emergency braking for
-        # Move_In (paper §VI-C).
-        successes = 0
-        for run in runs:
-            if run.vector is AttackVector.MOVE_IN:
-                successes += int(run.emergency_braking)
-            else:
-                successes += int(run.accident)
-        return successes / len(runs)
+        # Move_In (paper §VI-C) — the shared attack_succeeded rule.
+        return sum(attack_succeeded(run) for run in runs) / len(runs)
 
     eb_ratio = eb_rate / random_eb if random_eb > 0 else float("inf")
     return {

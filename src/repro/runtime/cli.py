@@ -15,6 +15,10 @@ durable per-run recording (``--store``), and the full scenario catalog
   one campaign per sweep point and records every run in the experiment store;
 * ``resume`` finishes every interrupted campaign found in a store — the
   resumed statistics are bit-identical to an uninterrupted run;
+* ``search`` runs the closed-loop falsification engine: an adaptive sampler
+  (cross-entropy, bandit, or random) steers sweep batches toward the
+  attack-success boundary under a fixed simulation budget, checkpointing its
+  state in the store so the same command resumes after any crash;
 
 ``--fusion POLICY`` (on run, sweep, and resume) selects the fusion-policy
 victim variant (late, camera_only, lidar_only, consistency_gated); resume
@@ -37,6 +41,8 @@ Examples::
         --param fusion.camera_weight=0.4:0.8:3
     repro-campaign --scenario DS-1 --attacker none --fusion lidar_only --runs 20
     repro-campaign resume --store runs/ --jobs -1
+    repro-campaign search --scenario DS-3 --attacker robotack --vector move_out \\
+        --store runs/ --sampler ce --budget 300 --batch-points 8 --target 0.9
     repro-campaign train --scenario DS-2 --vector disappear --store runs/ --jobs -1
     repro-campaign --list-scenarios
 """
@@ -303,6 +309,83 @@ def build_parser() -> argparse.ArgumentParser:
                         help="only resume campaigns whose effective fusion "
                         "policy matches (stored configs without a fusion "
                         "override count as 'late')")
+
+    search = subparsers.add_parser(
+        "search",
+        help="adaptively search the parameter space for attack-success regions",
+        description=(
+            "Closed-loop falsification: an adaptive sampler (cross-entropy, "
+            "bandit, or random) proposes batches of sweep points, the "
+            "campaign runtime executes them into the store, an objective "
+            "scores the recorded outcomes, and the scores steer the next "
+            "batch toward the attack-success boundary.  The search "
+            "checkpoints its sampler state in the store every iteration, so "
+            "re-running the same command after a crash (even SIGKILL) "
+            "resumes mid-iteration without re-proposing."
+        ),
+    )
+    search.add_argument("--scenario", dest="sub_scenario", required=True,
+                        help="scenario id to search")
+    search.add_argument("--store", dest="sub_store", required=True,
+                        help="experiment-store root (runs, checkpoints, report)")
+    search.add_argument("--attacker", dest="sub_attacker", default="robotack",
+                        help="attacker kind for every search point")
+    search.add_argument("--vector", dest="sub_vector", default=None,
+                        help="attack vector (robotack modes)")
+    search.add_argument("--predictor", dest="sub_predictor", default="neural",
+                        help="safety oracle kind")
+    search.add_argument("--fusion", dest="sub_fusion", default=None,
+                        help="fusion-policy victim variant for every point")
+    search.add_argument("--runs", dest="sub_runs", type=int, default=3,
+                        help="runs per search point (the per-point sample size)")
+    search.add_argument("--seed", dest="sub_seed", type=int, default=2020,
+                        help="root seed per campaign")
+    search.add_argument(
+        "--sampler", default="ce",
+        help="adaptive sampler: ce (cross-entropy), ucb / thompson "
+        "(bandit over the discrete axes), random (baseline)",
+    )
+    search.add_argument(
+        "--objective", default="attack_success",
+        help="falsification objective: attack_success, time_to_violation, "
+        "min_delta_margin",
+    )
+    search.add_argument(
+        "--budget", type=int, default=300,
+        help="total simulation-run budget across all iterations",
+    )
+    search.add_argument(
+        "--batch-points", type=int, default=8,
+        help="search points proposed per iteration",
+    )
+    search.add_argument(
+        "--search-seed", type=int, default=0,
+        help="seed of the adaptive sampler itself",
+    )
+    search.add_argument(
+        "--target", type=float, default=None,
+        help="stop early once any point's objective score reaches this "
+        "value (in [0, 1])",
+    )
+    search.add_argument(
+        "--max-iterations", type=int, default=None,
+        help="cap the iterations executed by this invocation (resume later)",
+    )
+    search.add_argument(
+        "--param",
+        action="append",
+        default=None,
+        metavar="PATH=SPEC",
+        help="axis as namespace.field=low:high[:points] or =v1,v2,... "
+        "(repeatable; default: the ScenarioVariation sampling ranges)",
+    )
+    search.add_argument("--jobs", dest="sub_jobs", type=int, default=0,
+                        help="worker processes (0/1 serial, -1 all CPUs)")
+    search.add_argument("--engine", dest="sub_engine", default="scalar",
+                        choices=("scalar", "batch"),
+                        help="simulation engine per search point (bit-identical)")
+    search.add_argument("--batch-size", dest="sub_batch_size", type=int, default=16,
+                        help="lockstep runs per work item when --engine batch")
     return parser
 
 
@@ -510,6 +593,98 @@ def _run_sweep(args: argparse.Namespace) -> None:
         print(summarize_campaign(result).format_row())
 
 
+def _run_search(args: argparse.Namespace) -> None:
+    from repro.experiments.campaign import CampaignConfig
+    from repro.experiments.store import ExperimentStore
+    from repro.experiments.tables import search_report_from_store
+    from repro.search import (
+        FalsificationLoop,
+        SearchSpec,
+        list_objectives,
+        list_search_samplers,
+    )
+    from repro.sim.sweeps import ParameterSpace, default_variation_space, parse_axis
+
+    attacker, vector, predictor = _parse_campaign_kinds(args)
+    fusion = _parse_fusion(args)
+    if args.sampler not in list_search_samplers():
+        raise SystemExit(
+            f"unknown search sampler {args.sampler!r}; "
+            f"choose from {list_search_samplers()}"
+        )
+    if args.objective not in list_objectives():
+        raise SystemExit(
+            f"unknown objective {args.objective!r}; "
+            f"choose from {list_objectives()}"
+        )
+    if args.param:
+        try:
+            space = ParameterSpace(dict(parse_axis(axis) for axis in args.param))
+        except ValueError as error:
+            raise SystemExit(str(error)) from None
+    else:
+        space = default_variation_space()
+    vector_label = vector.name.title() if vector is not None else attacker.value.title()
+    base = CampaignConfig(
+        campaign_id=f"{args.scenario}-{vector_label}-search",
+        scenario_id=args.scenario,
+        attacker=attacker,
+        vector=vector,
+        n_runs=args.runs,
+        seed=args.seed,
+        predictor=predictor,
+        fusion=fusion,
+    )
+    try:
+        spec = SearchSpec(
+            base=base,
+            space=space,
+            sampler=args.sampler,
+            objective=args.objective,
+            budget_runs=args.budget,
+            batch_points=args.batch_points,
+            seed=args.search_seed,
+            target_score=args.target,
+        )
+        loop = FalsificationLoop(
+            spec,
+            ExperimentStore(args.store),
+            executor=args.jobs,
+            engine=args.engine,
+            batch_size=args.batch_size,
+        )
+    except ValueError as error:
+        raise SystemExit(str(error)) from None
+    resuming = loop.store.load_search_state(loop.search_hash) is not None
+    print(
+        f"{'Resuming' if resuming else 'Starting'} search {loop.search_hash[:12]}: "
+        f"{args.sampler}/{args.objective} over {len(space)} axes, "
+        f"budget {args.budget} runs ({args.batch_points} points x {args.runs} "
+        f"runs per iteration, jobs={args.jobs}) into {args.store} ..."
+    )
+    result = loop.run(max_iterations=args.max_iterations)
+    print(f"\n=== Search report ({loop.search_hash[:12]}) ===")
+    print("iter points runs_spent    elite     best  best-so-far")
+    for row in search_report_from_store(loop.store, loop.search_hash):
+        print(row.format_row())
+    print(
+        f"\nBest score {result.best_score:.3f} "
+        f"({args.objective}) after {result.runs_spent} runs"
+        + (" — target reached" if result.reached_target else "")
+    )
+    if result.best_assignment:
+        print("Best assignment:")
+        for path, value in sorted(result.best_assignment.items()):
+            print(f"  {path} = {value}")
+    if result.elite_front:
+        print("Elite front (last iteration):")
+        for point in result.elite_front:
+            rendered = ", ".join(
+                f"{path}={value}" for path, value in sorted(point.assignment.items())
+            )
+            print(f"  score {point.score:.3f}: {rendered}")
+
+
 def _loss_curve_report(train_loss: List[float], validation_loss: List[float]) -> str:
     """A compact per-epoch loss table (first epoch, ~10 waypoints, last epoch)."""
     n_epochs = len(train_loss)
@@ -677,6 +852,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         _run_train(args)
     elif args.command == "resume":
         _run_resume(args)
+    elif args.command == "search":
+        _run_search(args)
     elif args.scenario is not None:
         _run_single_campaign(args)
     else:

@@ -1,0 +1,140 @@
+"""Falsification objectives: score a campaign's stored outcomes.
+
+An objective condenses one sweep point's runs (the :class:`RunOutcome` rows
+the store's incremental :meth:`~repro.experiments.store.ExperimentStore.aggregate`
+returns) into a single scalar in ``[0, 1]`` — higher means *closer to
+falsification*, so every sampler maximizes.  Built-ins (the
+:data:`OBJECTIVES` registry behind ``--objective``):
+
+* ``attack_success`` (default) — the fraction of runs that produced the
+  hazard their vector aims for (the shared
+  :func:`~repro.experiments.metrics.attack_succeeded` §VI-C rule);
+* ``time_to_violation`` — rewards *fast* violations: each successful run
+  contributes ``1 - t/​cap`` (``t`` its wall-clock simulated duration,
+  ``cap`` the normalization horizon), unsuccessful runs contribute 0;
+* ``min_delta_margin`` — a *smooth* boundary signal for spaces where binary
+  success is everywhere 0 or 1: how deeply the run pushed the ground-truth
+  safety potential toward zero, ``1 - clamp(min_delta / scale, 0, 1)``
+  averaged over runs (runs whose attack never fired score 0).
+"""
+
+from __future__ import annotations
+
+from typing import List, Protocol, Sequence, runtime_checkable
+
+import numpy as np
+
+from repro.experiments.store import RunOutcome
+from repro.runtime.registry import Registry
+
+__all__ = [
+    "Objective",
+    "AttackSuccessRate",
+    "TimeToViolation",
+    "MinDeltaMargin",
+    "OBJECTIVES",
+    "build_objective",
+    "list_objectives",
+]
+
+
+@runtime_checkable
+class Objective(Protocol):
+    """Scores one sweep point's outcomes; higher = closer to falsification."""
+
+    #: Registry name (recorded in search manifests and reports).
+    name: str
+
+    def score(self, outcomes: Sequence[RunOutcome]) -> float:
+        ...
+
+
+class AttackSuccessRate:
+    """Fraction of runs whose attack produced its intended hazard."""
+
+    name = "attack_success"
+
+    def score(self, outcomes: Sequence[RunOutcome]) -> float:
+        if not outcomes:
+            return 0.0
+        return sum(o.success for o in outcomes) / len(outcomes)
+
+
+class TimeToViolation:
+    """Rewards violations that arrive *early* in the run.
+
+    ``horizon_s`` is the normalization cap — typically the campaign's
+    ``simulation.max_duration_s``.  A run that violates instantly scores 1, a
+    violation at the horizon scores ~0, and a run with no violation scores 0;
+    the point's score is the mean over its runs.
+    """
+
+    name = "time_to_violation"
+
+    def __init__(self, horizon_s: float = 60.0):
+        if horizon_s <= 0:
+            raise ValueError("horizon_s must be positive")
+        self.horizon_s = float(horizon_s)
+
+    def score(self, outcomes: Sequence[RunOutcome]) -> float:
+        if not outcomes:
+            return 0.0
+        total = 0.0
+        for outcome in outcomes:
+            if outcome.success:
+                total += 1.0 - min(outcome.duration_s, self.horizon_s) / self.horizon_s
+        return total / len(outcomes)
+
+
+class MinDeltaMargin:
+    """How deeply runs pushed the ground-truth safety potential toward 0.
+
+    ``scale_m`` is the margin considered "comfortably safe": a run whose
+    minimum δ after attack start reaches 0 scores 1, one that never dips
+    below ``scale_m`` scores 0.  Runs with no finite δ (the attack never
+    launched) score 0.  Unlike binary success this degrades smoothly, which
+    is what gradient-free samplers need on spaces where success is rare.
+    """
+
+    name = "min_delta_margin"
+
+    def __init__(self, scale_m: float = 10.0):
+        if scale_m <= 0:
+            raise ValueError("scale_m must be positive")
+        self.scale_m = float(scale_m)
+
+    def score(self, outcomes: Sequence[RunOutcome]) -> float:
+        if not outcomes:
+            return 0.0
+        total = 0.0
+        for outcome in outcomes:
+            delta = outcome.min_true_delta_m
+            if np.isfinite(delta):
+                total += 1.0 - min(max(delta, 0.0), self.scale_m) / self.scale_m
+        return total / len(outcomes)
+
+
+#: Objective name -> factory(**options); the ``--objective`` registry.
+OBJECTIVES: Registry = Registry("search objective")
+OBJECTIVES.register(
+    "attack_success", AttackSuccessRate,
+    description="fraction of runs producing their vector's intended hazard",
+)
+OBJECTIVES.register(
+    "time_to_violation", TimeToViolation,
+    description="mean normalized earliness of violations (1 = instant)",
+)
+OBJECTIVES.register(
+    "min_delta_margin", MinDeltaMargin,
+    description="mean depth of the ground-truth safety-potential dip",
+)
+
+
+def build_objective(name: str, **options) -> Objective:
+    """Instantiate a registered objective (the ``--objective`` path)."""
+    return OBJECTIVES.get(name)(**options)
+
+
+def list_objectives() -> List[str]:
+    """The registered objective names (CLI help and validation)."""
+    return OBJECTIVES.keys()

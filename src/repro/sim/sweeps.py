@@ -45,7 +45,7 @@ import itertools
 import typing
 import warnings
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Dict, List, Mapping, Optional, Sequence, Tuple, Union
+from typing import TYPE_CHECKING, Dict, Iterator, List, Mapping, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -64,6 +64,7 @@ __all__ = [
     "ParameterSpec",
     "ParameterSpace",
     "Assignment",
+    "SeedLike",
     "DEFAULT_SWEEP_POINTS",
     "SAMPLERS",
     "parse_spec",
@@ -75,6 +76,18 @@ __all__ = [
 
 #: One sampled point of a parameter space: axis path -> concrete value.
 Assignment = Dict[str, object]
+
+#: Anything the stochastic samplers accept as a randomness source: an int
+#: seed (a fresh ``default_rng(seed)`` per call, the historical behaviour)
+#: or a live :class:`numpy.random.Generator` whose stream simply advances —
+#: what adaptive samplers need to draw repeatedly without re-seeding.
+SeedLike = Union[int, np.random.Generator]
+
+
+def _resolve_rng(seed: SeedLike) -> np.random.Generator:
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
 
 
 @dataclass(frozen=True)
@@ -174,6 +187,26 @@ class ParameterSpace:
     def __len__(self) -> int:
         return len(self.axes)
 
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.axes)
+
+    # ------------------------------------------------------------------ #
+    # Axis metadata — what adaptive samplers introspect
+    # ------------------------------------------------------------------ #
+
+    def paths(self) -> List[str]:
+        """The axis paths in declaration order (the unit-cube column order)."""
+        return list(self.axes)
+
+    def spec(self, path: str) -> ParameterSpec:
+        """The :class:`Uniform` / :class:`Choice` spec declared for an axis."""
+        try:
+            return self.axes[path]
+        except KeyError:
+            raise KeyError(
+                f"unknown axis {path!r}; declared axes: {list(self.axes)}"
+            ) from None
+
     # ------------------------------------------------------------------ #
     # Samplers
     # ------------------------------------------------------------------ #
@@ -186,32 +219,56 @@ class ParameterSpace:
             dict(zip(paths, combo)) for combo in itertools.product(*value_lists)
         ]
 
-    def random(self, n: int, seed: int = 0) -> List[Assignment]:
-        """``n`` independent uniform draws from the space."""
+    def random(self, n: int, seed: SeedLike = 0) -> List[Assignment]:
+        """``n`` independent uniform draws from the space.
+
+        ``seed`` may be an int (a fresh generator per call, so equal seeds
+        give equal draws) or a live :class:`numpy.random.Generator` whose
+        stream advances across calls — the contract adaptive samplers rely on
+        to interleave proposals without re-seed bookkeeping.
+        """
         if n < 1:
             raise ValueError("n must be positive")
-        rng = np.random.default_rng(seed)
+        rng = _resolve_rng(seed)
         units = rng.uniform(size=(n, len(self.axes)))
-        return self._assignments_from_units(units)
+        return self.sample_from(units)
 
-    def latin_hypercube(self, n: int, seed: int = 0) -> List[Assignment]:
+    def latin_hypercube(self, n: int, seed: SeedLike = 0) -> List[Assignment]:
         """``n`` Latin-hypercube samples: each axis stratified into ``n`` cells.
 
         Every axis is cut into ``n`` equal strata; each sample occupies a
         distinct stratum on every axis (independently permuted per axis), so
         the marginals cover their ranges evenly even for small ``n`` — the
-        standard design for expensive simulation sweeps.
+        standard design for expensive simulation sweeps.  ``seed`` accepts an
+        int or a live :class:`numpy.random.Generator` (see :meth:`random`).
         """
         if n < 1:
             raise ValueError("n must be positive")
-        rng = np.random.default_rng(seed)
+        rng = _resolve_rng(seed)
         units = np.empty((n, len(self.axes)))
         for column in range(len(self.axes)):
             strata = rng.permutation(n)
             units[:, column] = (strata + rng.uniform(size=n)) / n
-        return self._assignments_from_units(units)
+        return self.sample_from(units)
 
-    def _assignments_from_units(self, units: np.ndarray) -> List[Assignment]:
+    def sample_from(self, units: np.ndarray) -> List[Assignment]:
+        """Map unit-cube rows to concrete assignments (one row per point).
+
+        ``units`` must be shaped ``(n_points, len(self))`` with every
+        coordinate in ``[0, 1]``; columns follow :meth:`paths` order.  This is
+        the public bridge for adaptive samplers (cross-entropy, bandits, RL)
+        that maintain their own distributions in unit-cube space: they propose
+        unit rows and the space owns the mapping onto axis values — without
+        reaching into private internals.
+        """
+        units = np.asarray(units, dtype=np.float64)
+        if units.ndim != 2 or units.shape[1] != len(self.axes):
+            raise ValueError(
+                f"units must be shaped (n_points, {len(self.axes)}), "
+                f"got {units.shape}"
+            )
+        if units.size and (units.min() < 0.0 or units.max() > 1.0):
+            raise ValueError("unit coordinates must lie in [0, 1]")
         paths = list(self.axes)
         return [
             {
@@ -220,6 +277,16 @@ class ParameterSpace:
             }
             for row in units
         ]
+
+    def _assignments_from_units(self, units: np.ndarray) -> List[Assignment]:
+        """Deprecated private alias of :meth:`sample_from` (kept one release)."""
+        warnings.warn(
+            "ParameterSpace._assignments_from_units is deprecated; use the "
+            "public sample_from(units) instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.sample_from(units)
 
 
 #: Default number of sweep points for the stochastic samplers (random/lhs).

@@ -507,3 +507,116 @@ class TestConsumers:
         # (a later analysis session) renders the same table.
         rows_again = fusion_defense_from_store(ExperimentStore(tmp_path))
         assert rows_again == rows
+
+
+# --------------------------------------------------------------------- #
+# Incremental aggregation
+# --------------------------------------------------------------------- #
+
+
+class TestAggregate:
+    """The incremental/filtered outcome query behind the search loop."""
+
+    HASH_A = "e" * 64
+    HASH_B = "f" * 64
+
+    def _fill(self, store: ExperimentStore, config_hash_: str, indices) -> None:
+        for run_index in indices:
+            store.append(_make_record(config_hash_, run_index=run_index, salt=3))
+
+    def test_full_scan_covers_every_campaign(self, tmp_path):
+        store = ExperimentStore(tmp_path)
+        self._fill(store, self.HASH_A, range(3))
+        self._fill(store, self.HASH_B, range(5))
+        batch = store.aggregate()
+        assert sorted(batch.outcomes) == [self.HASH_A, self.HASH_B]
+        assert batch.summary(self.HASH_A).n_runs == 3
+        assert batch.summary(self.HASH_B).n_runs == 5
+        summaries = batch.summaries()
+        assert summaries[self.HASH_B].launched == 0
+        assert summaries[self.HASH_B].successes == 0
+        assert np.isfinite(summaries[self.HASH_B].min_min_delta_m)
+
+    def test_hash_filter_reads_only_requested_logs(self, tmp_path):
+        store = ExperimentStore(tmp_path)
+        self._fill(store, self.HASH_A, range(2))
+        self._fill(store, self.HASH_B, range(2))
+        batch = store.aggregate(config_hashes=[self.HASH_A])
+        assert list(batch.outcomes) == [self.HASH_A]
+        assert list(batch.cursor) == [self.HASH_A]
+        # Requesting a hash with no log yet is not an error: zero outcomes,
+        # cursor at zero, so a later incremental call starts from the top.
+        empty = store.aggregate(config_hashes=["9" * 64])
+        assert empty.outcomes == {"9" * 64: {}}
+        assert empty.cursor == {"9" * 64: 0}
+        assert empty.summary("9" * 64).n_runs == 0
+
+    def test_incremental_cursor_reads_only_new_lines(self, tmp_path):
+        store = ExperimentStore(tmp_path)
+        self._fill(store, self.HASH_A, range(3))
+        first = store.aggregate(config_hashes=[self.HASH_A])
+        assert first.summary(self.HASH_A).n_runs == 3
+
+        self._fill(store, self.HASH_A, range(3, 5))
+        second = store.aggregate(config_hashes=[self.HASH_A], since=first.cursor)
+        # Only the two appended lines were parsed...
+        assert sorted(second.outcomes[self.HASH_A]) == [3, 4]
+        # ...and merging yields the same state as a fresh full scan.
+        first.merge(second)
+        full = store.aggregate(config_hashes=[self.HASH_A])
+        assert sorted(first.outcomes[self.HASH_A]) == [0, 1, 2, 3, 4]
+        assert first.cursor == full.cursor
+        assert first.summary(self.HASH_A) == full.summary(self.HASH_A)
+
+    def test_cursor_does_not_consume_torn_tail(self, tmp_path):
+        store = ExperimentStore(tmp_path)
+        self._fill(store, self.HASH_A, range(2))
+        path = tmp_path / "runs" / f"{self.HASH_A}.jsonl"
+        intact_size = path.stat().st_size
+        with path.open("a", encoding="utf-8") as handle:
+            handle.write('{"run_index": 9, "truncat')  # crash mid-write
+        batch = store.aggregate(config_hashes=[self.HASH_A])
+        assert sorted(batch.outcomes[self.HASH_A]) == [0, 1]
+        # The cursor stops at the last newline, so once the writer recovers
+        # (fresh line after the torn tail) the record is picked up.
+        assert batch.cursor[self.HASH_A] == intact_size
+        store.append(_make_record(self.HASH_A, run_index=9, salt=3))
+        later = store.aggregate(config_hashes=[self.HASH_A], since=batch.cursor)
+        assert sorted(later.outcomes[self.HASH_A]) == [9]
+
+    def test_reappended_index_last_write_wins(self, tmp_path):
+        store = ExperimentStore(tmp_path)
+        store.append(_make_record(self.HASH_A, run_index=0, salt=1))
+        store.append(_make_record(self.HASH_A, run_index=0, salt=2))
+        batch = store.aggregate(config_hashes=[self.HASH_A])
+        assert batch.summary(self.HASH_A).n_runs == 1
+        expected = _make_record(self.HASH_A, run_index=0, salt=2)
+        outcome = batch.outcomes[self.HASH_A][0]
+        assert outcome.min_true_delta_m == expected.result.min_true_delta_m
+
+    def test_outcome_success_follows_the_shared_rule(self, tmp_path):
+        from dataclasses import replace
+
+        from repro.core.attack_vectors import AttackVector
+
+        store = ExperimentStore(tmp_path)
+        base = _make_record(self.HASH_A, run_index=0, salt=1)
+        move_in = replace(
+            base,
+            run_index=0,
+            result=replace(
+                base.result, vector=AttackVector.MOVE_IN, emergency_braking=True
+            ),
+        )
+        crash = replace(
+            base,
+            run_index=1,
+            result=replace(
+                base.result, run_index=1, vector=AttackVector.DISAPPEAR, accident=True
+            ),
+        )
+        store.append(move_in)
+        store.append(crash)
+        summary = store.aggregate(config_hashes=[self.HASH_A]).summary(self.HASH_A)
+        assert summary.successes == 2
+        assert summary.success_rate == 1.0

@@ -1,0 +1,125 @@
+"""SIGKILL crash/resume integration test for the falsification search.
+
+The strongest form of the resume contract: a search process killed with
+``SIGKILL`` (no exception handling, no atexit, no flushing — the process
+just stops) is resumed by simply re-running the same command, finishes the
+remaining budget, and ends with a durable sampler checkpoint *bit-identical*
+to a search that was never interrupted.
+
+The child process monkeypatches ``ExperimentStore.append`` to kill itself
+after a fixed number of run appends, which lands the kill mid-iteration:
+after the proposed-phase checkpoint, with some of the batch's runs on disk
+and some missing.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+from pathlib import Path
+
+from repro.experiments.store import ExperimentStore
+
+REPO_SRC = Path(__file__).resolve().parents[2] / "src"
+
+# One literal spec shared by the child script and the in-process resume;
+# keep in sync with _spec() below.
+SPEC_SNIPPET = """
+from repro.experiments.campaign import AttackerKind, CampaignConfig
+from repro.search import SearchSpec
+from repro.sim.config import SimulationConfig
+from repro.sim.sweeps import ParameterSpace, Uniform
+
+spec = SearchSpec(
+    base=CampaignConfig(
+        campaign_id="sigkill-ds1",
+        scenario_id="DS-1",
+        attacker=AttackerKind.NONE,
+        n_runs=2,
+        seed=17,
+        simulation=SimulationConfig(max_duration_s=1.5),
+    ),
+    space=ParameterSpace({
+        "variation.lead_gap_offset_m": Uniform(-8.0, 8.0),
+        "variation.lead_speed_offset_mps": Uniform(-0.8, 0.8),
+    }),
+    sampler="ce",
+    objective="min_delta_margin",
+    budget_runs=12,
+    batch_points=3,
+    seed=23,
+)
+"""
+
+CHILD_SCRIPT = SPEC_SNIPPET + """
+import os, signal, sys
+
+import repro.experiments.store as store_module
+from repro.experiments.store import ExperimentStore
+from repro.search import FalsificationLoop
+
+kill_after = int(sys.argv[2])
+if kill_after > 0:
+    original_append = ExperimentStore.append
+    state = {"appends": 0}
+
+    def killing_append(self, record):
+        original_append(self, record)
+        state["appends"] += 1
+        if state["appends"] >= kill_after:
+            os.kill(os.getpid(), signal.SIGKILL)
+
+    ExperimentStore.append = killing_append
+
+FalsificationLoop(spec, ExperimentStore(sys.argv[1])).run()
+"""
+
+
+def _spec():
+    namespace: dict = {}
+    exec(SPEC_SNIPPET, namespace)
+    return namespace["spec"]
+
+
+def _run_child(store_root: Path, kill_after: int) -> subprocess.CompletedProcess:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_SRC) + os.pathsep + env.get("PYTHONPATH", "")
+    return subprocess.run(
+        [sys.executable, "-c", CHILD_SCRIPT, str(store_root), str(kill_after)],
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+
+
+def test_sigkilled_search_resumes_bit_identically(tmp_path):
+    from repro.search import FalsificationLoop, search_spec_hash
+
+    spec = _spec()
+    search_hash = search_spec_hash(spec)
+
+    clean_root = tmp_path / "clean"
+    completed = _run_child(clean_root, kill_after=0)
+    assert completed.returncode == 0, completed.stderr
+
+    # Kill mid-first-iteration: 4 of the iteration's 6 runs are on disk.
+    crash_root = tmp_path / "crash"
+    killed = _run_child(crash_root, kill_after=4)
+    assert killed.returncode == -signal.SIGKILL
+
+    crash_store = ExperimentStore(crash_root)
+    state = crash_store.load_search_state(search_hash)
+    assert state is not None and state["phase"] == "proposed"
+
+    # Resume in-process (same code path as re-running the CLI command).
+    result = FalsificationLoop(spec, crash_store).run()
+    assert result.search_hash == search_hash
+    assert result.runs_spent == spec.budget_runs
+
+    clean_state = ExperimentStore(clean_root).load_search_state(search_hash)
+    crash_state = crash_store.load_search_state(search_hash)
+    assert json.dumps(crash_state, sort_keys=True) == json.dumps(
+        clean_state, sort_keys=True
+    )

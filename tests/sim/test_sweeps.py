@@ -262,3 +262,77 @@ class TestFusionNamespace:
             "consistency_gated",
         }
         assert len({config_hash(c) for c in configs}) == 18
+
+
+class TestUnitCubeBridge:
+    """The public sample_from / paths / spec surface the search engine uses."""
+
+    SPACE = ParameterSpace(
+        {
+            "variation.lead_gap_offset_m": Uniform(-8.0, 8.0),
+            "fusion.policy": Choice(("late", "camera_only")),
+        }
+    )
+
+    def test_sample_from_maps_rows_through_declared_axes(self):
+        units = np.array([[0.0, 0.0], [1.0, 0.9], [0.5, 0.4]])
+        assignments = self.SPACE.sample_from(units)
+        assert assignments == [
+            {"variation.lead_gap_offset_m": -8.0, "fusion.policy": "late"},
+            {"variation.lead_gap_offset_m": 8.0, "fusion.policy": "camera_only"},
+            {"variation.lead_gap_offset_m": 0.0, "fusion.policy": "late"},
+        ]
+
+    def test_sample_from_matches_random_sampler(self):
+        rng = np.random.default_rng(4)
+        units = rng.uniform(size=(7, 2))
+        assert self.SPACE.sample_from(units) == self.SPACE.random(
+            7, seed=np.random.default_rng(4)
+        )
+
+    def test_sample_from_validates_shape_and_range(self):
+        with pytest.raises(ValueError, match="shaped"):
+            self.SPACE.sample_from(np.zeros((3,)))
+        with pytest.raises(ValueError, match="shaped"):
+            self.SPACE.sample_from(np.zeros((3, 5)))
+        with pytest.raises(ValueError, match=r"\[0, 1\]"):
+            self.SPACE.sample_from(np.array([[0.5, 1.2]]))
+
+    def test_paths_and_spec_accessors(self):
+        assert self.SPACE.paths() == list(self.SPACE) == [
+            "variation.lead_gap_offset_m",
+            "fusion.policy",
+        ]
+        assert len(self.SPACE) == 2
+        assert self.SPACE.spec("fusion.policy") == Choice(("late", "camera_only"))
+        with pytest.raises(KeyError, match="declared axes"):
+            self.SPACE.spec("variation.pedestrian_delay_s")
+
+    def test_private_alias_is_deprecated_but_equivalent(self):
+        units = np.random.default_rng(0).uniform(size=(3, 2))
+        with pytest.deprecated_call():
+            legacy = self.SPACE._assignments_from_units(units)
+        assert legacy == self.SPACE.sample_from(units)
+
+
+class TestGeneratorSeeds:
+    """random / latin_hypercube accept a Generator directly (stream reuse)."""
+
+    SPACE = ParameterSpace({"variation.lead_gap_offset_m": Uniform(-8.0, 8.0)})
+
+    def test_generator_seed_matches_int_seed(self):
+        assert self.SPACE.random(5, seed=np.random.default_rng(3)) == self.SPACE.random(
+            5, seed=3
+        )
+        assert self.SPACE.latin_hypercube(
+            5, seed=np.random.default_rng(3)
+        ) == self.SPACE.latin_hypercube(5, seed=3)
+
+    def test_generator_stream_advances_across_calls(self):
+        rng = np.random.default_rng(3)
+        first = self.SPACE.random(4, seed=rng)
+        second = self.SPACE.random(4, seed=rng)
+        assert first != second
+        # One shared stream == one longer draw split in two.
+        both = self.SPACE.random(8, seed=3)
+        assert first + second == both
